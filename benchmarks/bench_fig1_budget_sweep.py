@@ -1,0 +1,17 @@
+"""Fig. 1 — error vs. space budget."""
+
+from repro.experiments.suite import fig1_budget_sweep
+
+
+def test_fig1_budget_sweep(report):
+    result = report(
+        fig1_budget_sweep,
+        rows=20_000,
+        queries=150,
+        budgets=(1024, 2048, 4096, 8192, 16384),
+    )
+    # Shape check: the streaming ADE dominates the fixed-bandwidth KDE and the
+    # AVI histograms at every budget on 2-D multimodal data.
+    for index in range(len(result.x_values)):
+        assert result.series["ade_streaming"][index] <= result.series["kde_fixed"][index]
+        assert result.series["ade_streaming"][index] <= result.series["equidepth"][index]

@@ -1,0 +1,14 @@
+"""Fig. 2 — error vs. dimensionality at a fixed space budget."""
+
+from repro.experiments.suite import fig2_dimensionality
+
+
+def test_fig2_dimensionality(report):
+    result = report(fig2_dimensionality, rows=15_000, queries=120, max_dimensions=5)
+    # Shape check: for correlated data at d >= 2 the kernel models beat the
+    # independence baseline, and the gap does not close as d grows.
+    for index, d in enumerate(result.x_values):
+        if d < 2:
+            continue
+        assert result.series["ade_streaming"][index] < result.series["independence"][index]
+        assert result.series["ade_adaptive"][index] < result.series["independence"][index]

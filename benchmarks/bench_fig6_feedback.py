@@ -1,0 +1,18 @@
+"""Fig. 6 — query-feedback convergence."""
+
+from repro.experiments.suite import fig6_feedback
+
+
+def test_fig6_feedback(report):
+    result = report(
+        fig6_feedback,
+        rows=20_000,
+        feedback_steps=(0, 25, 50, 100, 200, 400),
+        holdout_queries=120,
+    )
+    # Shape check: feedback reduces the hot-region error of the feedback ADE
+    # relative to its own starting point, while the static baseline stays flat.
+    feedback_series = result.series["feedback_ade"]
+    static_series = result.series["static_kde"]
+    assert feedback_series[-1] <= feedback_series[0]
+    assert abs(static_series[-1] - static_series[0]) < 1e-9

@@ -1,0 +1,12 @@
+"""Fig. 7 — bandwidth-selection ablation."""
+
+from repro.experiments.suite import fig7_bandwidth_ablation
+
+
+def test_fig7_bandwidth_ablation(report):
+    result = report(fig7_bandwidth_ablation, rows=20_000, queries=200, sample_size=512)
+    errors = {row[0]: row[2] for row in result.rows}
+    # Shape check: on multimodal data cross-validated bandwidths beat the
+    # rules of thumb, which over-smooth.
+    assert errors["lscv"] <= errors["scott"]
+    assert errors["mlcv"] <= errors["silverman"]

@@ -1,0 +1,12 @@
+"""Fig. 8 — optimizer impact (plan regret of the chosen join orders)."""
+
+from repro.experiments.suite import fig8_optimizer_impact
+
+
+def test_fig8_optimizer_impact(report):
+    result = report(fig8_optimizer_impact, fact_rows=40_000, dimension_rows=5_000, trials=20)
+    regrets = {row[0]: row[1] for row in result.rows}
+    # Shape check: exact selectivities give no regret, and the ADE-driven
+    # optimizer is at least as good as the independence-assumption optimizer.
+    assert regrets["true_selectivity"] == 1.0
+    assert regrets["ade_adaptive"] <= regrets["independence"] + 1e-9

@@ -1,0 +1,15 @@
+"""Table 1 — 1-D accuracy of every estimator at equal space budget."""
+
+from repro.experiments.suite import table1_accuracy_1d
+
+
+def test_table1_accuracy_1d(report):
+    result = report(table1_accuracy_1d, rows=20_000, queries=200, budget_bytes=4096)
+    # Shape check: the streaming ADE must be competitive with the best
+    # histogram on every 1-D dataset (within a factor of 3 of its error).
+    by_dataset: dict[str, dict[str, float]] = {}
+    for row in result.rows:
+        by_dataset.setdefault(row[0], {})[row[1]] = row[2]
+    for dataset, errors in by_dataset.items():
+        best_histogram = min(errors["equiwidth"], errors["equidepth"])
+        assert errors["ade_streaming"] <= best_histogram * 3 + 0.05, dataset

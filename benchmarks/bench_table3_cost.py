@@ -1,0 +1,14 @@
+"""Table 3 — construction and estimation cost of every estimator."""
+
+from repro.experiments.suite import table3_cost
+
+
+def test_table3_cost(report):
+    result = report(table3_cost, rows=50_000, queries=150, budget_bytes=8192, dimensions=3)
+    # Every synopsis must answer well over a hundred queries per second and
+    # build in bounded time.
+    for row in result.rows:
+        label, build_seconds, throughput, memory, _ = row
+        assert throughput > 100, label
+        assert build_seconds < 60, label
+        assert memory > 0, label

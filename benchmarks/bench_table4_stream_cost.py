@@ -1,0 +1,19 @@
+"""Table 4 — streaming maintenance cost vs. model budget."""
+
+from repro.experiments.suite import table4_stream_cost
+
+
+def test_table4_stream_cost(report):
+    result = report(
+        table4_stream_cost,
+        stream_rows=30_000,
+        batch_size=1000,
+        budgets=(64, 128, 256),
+        queries=100,
+    )
+    # The streaming ADE must sustain thousands of inserts per second at every
+    # budget and its memory must grow with the budget.
+    ade_rows = [row for row in result.rows if row[0] == "ade_streaming"]
+    assert all(row[2] > 1000 for row in ade_rows)
+    memories = [row[3] for row in ade_rows]
+    assert memories == sorted(memories)

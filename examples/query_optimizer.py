@@ -1,0 +1,95 @@
+"""Optimizer scenario: better selectivity estimates pick better join orders.
+
+Run with::
+
+    python examples/query_optimizer.py
+
+A three-table star schema (fact, customers, products) is registered in the
+catalog.  The same star-join query — each table carrying a local range
+predicate — is optimized three times, with the catalog's statistics provided
+by (a) exact selectivities, (b) the adaptive density estimator, and (c) the
+textbook uniformity/independence assumptions.  The script prints the chosen
+join order and the *true* cost of executing it, showing how much plan quality
+is lost to bad estimates.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AdaptiveKDEEstimator,
+    Catalog,
+    IndependenceEstimator,
+    JoinSpec,
+    Optimizer,
+    RangeQuery,
+    correlated_table,
+    gaussian_mixture_table,
+    plan_regret,
+    render_table,
+    zipf_table,
+)
+
+
+def build_tables():
+    fact = gaussian_mixture_table(
+        80_000, dimensions=2, components=5, separation=4.0, seed=1, name="sales",
+        column_names=["amount", "quantity"],
+    )
+    customers = zipf_table(
+        10_000, dimensions=1, theta=1.1, seed=2, name="customers", column_names=["age"]
+    )
+    products = correlated_table(
+        5_000, dimensions=2, correlation=0.7, seed=3, name="products",
+        column_names=["price", "weight"],
+    )
+    return fact, customers, products
+
+
+def main() -> None:
+    fact, customers, products = build_tables()
+    spec = JoinSpec(
+        tables=("sales", "customers", "products"),
+        filters={
+            "sales": RangeQuery({"amount": (0.0, 3.0)}),
+            "customers": RangeQuery({"age": (0.0, 80.0)}),
+            "products": RangeQuery({"price": (-0.5, 0.5)}),
+        },
+        join_selectivities={
+            frozenset(("sales", "customers")): 1.0 / customers.row_count,
+            frozenset(("sales", "products")): 1.0 / products.row_count,
+            frozenset(("customers", "products")): 1.0,
+        },
+    )
+
+    configurations = {
+        "exact selectivities": None,
+        "adaptive density estimator": lambda: AdaptiveKDEEstimator(
+            sample_size=512, bandwidth_rule="lscv"
+        ),
+        "uniformity + independence": lambda: IndependenceEstimator(model="uniform"),
+    }
+
+    rows = []
+    for label, factory in configurations.items():
+        catalog = Catalog()
+        for table in (fact, customers, products):
+            catalog.add_table(table)
+            if factory is not None:
+                catalog.attach_estimator(table.name, factory())
+        optimizer = Optimizer(catalog)
+        chosen = optimizer.best_plan(spec, use_estimates=True)
+        regret = plan_regret(optimizer, spec)
+        rows.append([label, " ⋈ ".join(chosen.order), chosen.true_cost, regret])
+
+    print(
+        render_table(
+            ["statistics", "chosen join order", "true plan cost", "regret vs optimal"],
+            rows,
+            title="Join-order quality under different selectivity estimators",
+            precision=3,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Streaming scenario: keep selectivity statistics fresh under concept drift.
+
+Run with::
+
+    python examples/streaming_drift.py
+
+A fact table receives a continuous stream of inserts whose distribution
+shifts abruptly halfway through (think: a new product family starts selling).
+Three synopses are maintained online:
+
+* a decayed streaming ADE (the adaptive estimator of the paper),
+* a landmark streaming ADE (no forgetting),
+* a plain reservoir sample.
+
+A static equi-depth histogram built from the pre-drift data plays the role of
+the statistics a DBMS would have collected at the last ANALYZE.  After every
+few batches the script reports each synopsis's error against the *current*
+distribution (the most recent window of tuples).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    EquiDepthHistogram,
+    ReservoirSamplingEstimator,
+    StreamingADE,
+    Table,
+    UniformWorkload,
+    evaluate_estimator,
+    render_series,
+    sudden_drift_stream,
+)
+
+
+def main() -> None:
+    batches = 40
+    batch_size = 500
+    reference_window = 3000
+    stream = sudden_drift_stream(
+        dimensions=1, batch_size=batch_size, batches=batches, drift_at=(0.5,), shift=10.0, seed=3
+    )
+    columns = stream.column_names
+
+    decayed = StreamingADE(max_kernels=256, decay=0.5 ** (1.0 / reference_window))
+    landmark = StreamingADE(max_kernels=256, decay=1.0)
+    reservoir = ReservoirSamplingEstimator(sample_size=256, decay=True)
+    for estimator in (decayed, landmark, reservoir):
+        estimator.start(columns)
+
+    static_histogram: EquiDepthHistogram | None = None
+    window: list[np.ndarray] = []
+    x_values: list[int] = []
+    series: dict[str, list[float]] = {}
+
+    for index, batch in enumerate(stream):
+        for estimator in (decayed, landmark, reservoir):
+            estimator.insert(batch)
+        window.append(batch)
+        recent = np.vstack(window)[-reference_window:]
+        if static_histogram is None and (index + 1) * batch_size >= reference_window:
+            # "ANALYZE" ran once, before the drift.
+            static_histogram = EquiDepthHistogram(buckets=64)
+            static_histogram.fit(Table.from_array("snapshot", recent, columns))
+        if static_histogram is None or index % 5 != 0:
+            continue
+
+        reference = Table.from_array("current", recent, columns)
+        workload = UniformWorkload(reference, volume_fraction=0.1, seed=100 + index).generate(60)
+        x_values.append(index)
+        for name, estimator in (
+            ("ade_decayed", decayed),
+            ("ade_landmark", landmark),
+            ("reservoir", reservoir),
+            ("static_histogram", static_histogram),
+        ):
+            error = evaluate_estimator(reference, estimator, workload).mean_relative_error()
+            series.setdefault(name, []).append(error)
+
+    print(
+        render_series(
+            "batch",
+            x_values,
+            series,
+            title=f"Mean relative error vs. the last {reference_window} tuples "
+            f"(drift at batch {batches // 2})",
+        )
+    )
+    print()
+    print(
+        "The decayed streaming ADE recovers shortly after the drift while the "
+        "static histogram (and, more slowly, the landmark model) keep answering "
+        "from the stale distribution."
+    )
+
+
+if __name__ == "__main__":
+    main()

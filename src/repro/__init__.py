@@ -1,0 +1,195 @@
+"""repro — adaptive density estimation for selectivity estimation.
+
+A reproduction of the VLDB 2006 paper *Adaptive Density Estimation* as an
+open-source Python library: kernel-density selectivity estimators (batch,
+sample-point adaptive, streaming with bounded memory, and query-feedback
+self-tuning) together with the classical synopsis baselines (equi-width /
+equi-depth histograms, multi-dimensional grids, samples, Haar wavelets,
+self-tuning histograms), the data/workload/engine substrates needed to
+evaluate them, and a benchmark harness that regenerates every table and
+figure of the (reconstructed) evaluation.
+
+Quickstart
+----------
+>>> from repro import gaussian_mixture_table, AdaptiveKDEEstimator, UniformWorkload
+>>> table = gaussian_mixture_table(rows=20_000, dimensions=2, seed=7)
+>>> estimator = AdaptiveKDEEstimator(sample_size=512).fit(table)
+>>> query = UniformWorkload(table, seed=1).generate(1)[0]
+>>> 0.0 <= estimator.estimate(query) <= 1.0
+True
+"""
+
+from repro.core.adaptive import AdaptiveKDEEstimator
+from repro.core.bandwidth import (
+    lscv_bandwidth,
+    mlcv_bandwidth,
+    scott_bandwidth,
+    select_bandwidth,
+    silverman_bandwidth,
+)
+from repro.core.errors import (
+    BudgetError,
+    CatalogError,
+    DimensionMismatchError,
+    InvalidParameterError,
+    InvalidQueryError,
+    NotFittedError,
+    ReproError,
+    StreamError,
+)
+from repro.core.estimator import (
+    FeedbackEstimator,
+    SelectivityEstimator,
+    StreamingEstimator,
+    available_estimators,
+    create_estimator,
+    register_estimator,
+)
+from repro.core.feedback import FeedbackAdaptiveEstimator
+from repro.core.kde import KDESelectivityEstimator
+from repro.core.kernels import (
+    BiweightKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    Kernel,
+    TriangularKernel,
+    UniformKernel,
+    get_kernel,
+)
+from repro.core.streaming import StreamingADE
+from repro.baselines.histogram import EquiDepthHistogram, EquiWidthHistogram, Histogram1D
+from repro.baselines.independence import IndependenceEstimator
+from repro.baselines.multidim import GridHistogram
+from repro.baselines.sampling import ReservoirSamplingEstimator, SamplingEstimator
+from repro.baselines.stholes import SelfTuningHistogram
+from repro.baselines.wavelet import WaveletHistogram
+from repro.data.generators import (
+    clustered_table,
+    correlated_table,
+    gaussian_mixture_table,
+    make_dataset,
+    mixed_table,
+    uniform_table,
+    zipf_table,
+)
+from repro.data.streams import (
+    DataStream,
+    gradual_drift_stream,
+    stationary_stream,
+    sudden_drift_stream,
+)
+from repro.engine.catalog import Catalog
+from repro.engine.executor import EvaluationResult, Executor, evaluate_estimator
+from repro.engine.optimizer import JoinSpec, Optimizer, Plan, plan_regret
+from repro.engine.table import ColumnStats, Table
+from repro.metrics.errors import (
+    ErrorSummary,
+    absolute_errors,
+    evaluate_estimates,
+    q_errors,
+    relative_errors,
+    summarize_errors,
+)
+from repro.metrics.report import render_series, render_table
+from repro.stream.reservoir import DecayedReservoirSampler, ReservoirSampler
+from repro.stream.windows import SlidingWindow
+from repro.workload.generators import (
+    DataCenteredWorkload,
+    SkewedWorkload,
+    UniformWorkload,
+    WorkloadGenerator,
+    generate_workload,
+)
+from repro.workload.queries import Interval, QueryRegion, RangeQuery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core estimators
+    "SelectivityEstimator",
+    "StreamingEstimator",
+    "FeedbackEstimator",
+    "KDESelectivityEstimator",
+    "AdaptiveKDEEstimator",
+    "StreamingADE",
+    "FeedbackAdaptiveEstimator",
+    "register_estimator",
+    "create_estimator",
+    "available_estimators",
+    # kernels & bandwidths
+    "Kernel",
+    "GaussianKernel",
+    "EpanechnikovKernel",
+    "BiweightKernel",
+    "TriangularKernel",
+    "UniformKernel",
+    "get_kernel",
+    "scott_bandwidth",
+    "silverman_bandwidth",
+    "lscv_bandwidth",
+    "mlcv_bandwidth",
+    "select_bandwidth",
+    # baselines
+    "Histogram1D",
+    "EquiWidthHistogram",
+    "EquiDepthHistogram",
+    "GridHistogram",
+    "IndependenceEstimator",
+    "SamplingEstimator",
+    "ReservoirSamplingEstimator",
+    "WaveletHistogram",
+    "SelfTuningHistogram",
+    # engine
+    "Table",
+    "ColumnStats",
+    "Catalog",
+    "Executor",
+    "EvaluationResult",
+    "evaluate_estimator",
+    "Optimizer",
+    "JoinSpec",
+    "Plan",
+    "plan_regret",
+    # data & workloads
+    "uniform_table",
+    "gaussian_mixture_table",
+    "zipf_table",
+    "correlated_table",
+    "clustered_table",
+    "mixed_table",
+    "make_dataset",
+    "DataStream",
+    "stationary_stream",
+    "sudden_drift_stream",
+    "gradual_drift_stream",
+    "RangeQuery",
+    "Interval",
+    "QueryRegion",
+    "WorkloadGenerator",
+    "UniformWorkload",
+    "DataCenteredWorkload",
+    "SkewedWorkload",
+    "generate_workload",
+    # streams
+    "ReservoirSampler",
+    "DecayedReservoirSampler",
+    "SlidingWindow",
+    # metrics
+    "ErrorSummary",
+    "absolute_errors",
+    "relative_errors",
+    "q_errors",
+    "summarize_errors",
+    "evaluate_estimates",
+    "render_table",
+    "render_series",
+    # errors
+    "ReproError",
+    "NotFittedError",
+    "DimensionMismatchError",
+    "InvalidQueryError",
+    "InvalidParameterError",
+    "BudgetError",
+    "CatalogError",
+    "StreamError",
+]

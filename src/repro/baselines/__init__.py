@@ -1,0 +1,28 @@
+"""Baseline synopses: histograms, samples, wavelets, self-tuning grids."""
+
+from repro.baselines.histogram import EquiDepthHistogram, EquiWidthHistogram, Histogram1D
+from repro.baselines.independence import IndependenceEstimator
+from repro.baselines.multidim import GridHistogram
+from repro.baselines.sampling import ReservoirSamplingEstimator, SamplingEstimator
+from repro.baselines.stholes import SelfTuningHistogram
+from repro.baselines.wavelet import (
+    WaveletHistogram,
+    haar_transform,
+    inverse_haar_transform,
+    top_k_coefficients,
+)
+
+__all__ = [
+    "Histogram1D",
+    "EquiWidthHistogram",
+    "EquiDepthHistogram",
+    "GridHistogram",
+    "IndependenceEstimator",
+    "SamplingEstimator",
+    "ReservoirSamplingEstimator",
+    "SelfTuningHistogram",
+    "WaveletHistogram",
+    "haar_transform",
+    "inverse_haar_transform",
+    "top_k_coefficients",
+]

@@ -1,0 +1,180 @@
+"""One-dimensional histogram synopses and the AVI combiner.
+
+These are the classical selectivity-estimation baselines every database
+system ships:
+
+* :class:`EquiWidthHistogram` — fixed-width buckets per attribute.
+* :class:`EquiDepthHistogram` — quantile (equal row count) buckets per
+  attribute; the standard choice for skewed data.
+
+Both keep one 1-D histogram per fitted attribute and combine attributes with
+the *attribute value independence* (AVI) assumption: the selectivity of a
+conjunctive predicate is the product of per-attribute selectivities.  Inside
+a bucket the *uniform spread* assumption applies: a query that covers part of
+a bucket receives a proportional share of the bucket's rows.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.core.estimator import FLOAT_BYTES, SelectivityEstimator, register_estimator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
+    from repro.engine.table import Table
+from repro.workload.queries import RangeQuery
+
+__all__ = ["Histogram1D", "EquiWidthHistogram", "EquiDepthHistogram"]
+
+
+class Histogram1D:
+    """A 1-D bucketed frequency summary of one numeric attribute.
+
+    Parameters
+    ----------
+    edges:
+        Monotonically non-decreasing bucket boundaries (``buckets + 1`` values).
+    counts:
+        Row count per bucket (``len(edges) - 1`` values).
+    """
+
+    __slots__ = ("edges", "counts", "total")
+
+    def __init__(self, edges: np.ndarray, counts: np.ndarray) -> None:
+        edges = np.asarray(edges, dtype=float)
+        counts = np.asarray(counts, dtype=float)
+        if edges.size != counts.size + 1:
+            raise InvalidParameterError("edges must have exactly one more entry than counts")
+        if np.any(np.diff(edges) < 0):
+            raise InvalidParameterError("bucket edges must be non-decreasing")
+        if np.any(counts < 0):
+            raise InvalidParameterError("bucket counts must be non-negative")
+        self.edges = edges
+        self.counts = counts
+        self.total = float(counts.sum())
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of buckets."""
+        return int(self.counts.size)
+
+    def selectivity(self, low: float, high: float) -> float:
+        """Fraction of rows in ``[low, high]`` under the uniform-spread assumption."""
+        if self.total <= 0 or high < low:
+            return 0.0
+        lows = self.edges[:-1]
+        highs = self.edges[1:]
+        widths = highs - lows
+        covered = np.minimum(highs, high) - np.maximum(lows, low)
+        covered = np.clip(covered, 0.0, None)
+        # Degenerate buckets (repeated edges, e.g. heavy duplicates in
+        # equi-depth histograms) hold all their mass at a single value.
+        point_bucket = widths <= 0
+        fraction = np.where(point_bucket, 0.0, covered / np.where(widths > 0, widths, 1.0))
+        point_hit = point_bucket & (lows >= low) & (lows <= high)
+        fraction = np.where(point_hit, 1.0, fraction)
+        fraction = np.clip(fraction, 0.0, 1.0)
+        return float(np.dot(fraction, self.counts) / self.total)
+
+    def density(self, points: np.ndarray) -> np.ndarray:
+        """Histogram density estimate at ``points`` (for MISE comparisons)."""
+        points = np.asarray(points, dtype=float)
+        widths = np.maximum(self.edges[1:] - self.edges[:-1], 1e-12)
+        heights = self.counts / (max(self.total, 1.0) * widths)
+        index = np.clip(np.searchsorted(self.edges, points, side="right") - 1, 0, self.counts.size - 1)
+        inside = (points >= self.edges[0]) & (points <= self.edges[-1])
+        return np.where(inside, heights[index], 0.0)
+
+    def memory_floats(self) -> int:
+        """Number of stored floating-point values."""
+        return int(self.edges.size + self.counts.size)
+
+
+class _PerAttributeHistogramEstimator(SelectivityEstimator):
+    """Shared machinery of the AVI histogram estimators."""
+
+    def __init__(self, buckets: int = 64) -> None:
+        super().__init__()
+        if buckets < 1:
+            raise InvalidParameterError("buckets must be positive")
+        self.buckets = int(buckets)
+        self._histograms: dict[str, Histogram1D] = {}
+
+    @abstractmethod
+    def _build_histogram(self, values: np.ndarray) -> Histogram1D:
+        """Build the per-attribute histogram (equi-width vs equi-depth)."""
+
+    def fit(self, table: Table, columns: Sequence[str] | None = None) -> "SelectivityEstimator":
+        columns = self._resolve_columns(table, columns)
+        self._histograms = {}
+        for column in columns:
+            self._histograms[column] = self._build_histogram(table.column(column))
+        self._mark_fitted(columns, table.row_count)
+        return self
+
+    def histogram(self, column: str) -> Histogram1D:
+        """The per-attribute histogram built for ``column``."""
+        self._require_fitted()
+        return self._histograms[column]
+
+    def estimate(self, query: RangeQuery) -> float:
+        self._query_bounds(query)  # validates coverage
+        selectivity = 1.0
+        for attribute in query.attributes:
+            interval = query[attribute]
+            selectivity *= self._histograms[attribute].selectivity(interval.low, interval.high)
+        return self._clip_fraction(selectivity)
+
+    def memory_bytes(self) -> int:
+        self._require_fitted()
+        floats = sum(h.memory_floats() for h in self._histograms.values())
+        return int(floats * FLOAT_BYTES)
+
+
+@register_estimator("equiwidth")
+class EquiWidthHistogram(_PerAttributeHistogramEstimator):
+    """Equi-width histogram per attribute, combined with the AVI assumption."""
+
+    name = "equiwidth"
+
+    def _build_histogram(self, values: np.ndarray) -> Histogram1D:
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            edges = np.linspace(0.0, 1.0, self.buckets + 1)
+            return Histogram1D(edges, np.zeros(self.buckets))
+        low = float(values.min())
+        high = float(values.max())
+        if high <= low:
+            high = low + 1.0
+        edges = np.linspace(low, high, self.buckets + 1)
+        counts, _ = np.histogram(values, bins=edges)
+        return Histogram1D(edges, counts.astype(float))
+
+
+@register_estimator("equidepth")
+class EquiDepthHistogram(_PerAttributeHistogramEstimator):
+    """Equi-depth (quantile) histogram per attribute with the AVI assumption."""
+
+    name = "equidepth"
+
+    def _build_histogram(self, values: np.ndarray) -> Histogram1D:
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            edges = np.linspace(0.0, 1.0, self.buckets + 1)
+            return Histogram1D(edges, np.zeros(self.buckets))
+        quantiles = np.linspace(0.0, 100.0, self.buckets + 1)
+        edges = np.percentile(values, quantiles)
+        edges = np.maximum.accumulate(edges)
+        counts, _ = np.histogram(values, bins=edges)
+        # np.histogram drops values equal to an internal repeated edge into the
+        # right bucket; recompute the total so no row is lost.
+        counts = counts.astype(float)
+        missing = values.size - counts.sum()
+        if missing > 0 and counts.size:
+            counts[-1] += missing
+        return Histogram1D(edges, counts)

@@ -1,0 +1,97 @@
+"""Attribute-value-independence (AVI) parametric baseline.
+
+:class:`IndependenceEstimator` is the cheapest synopsis a system can keep:
+per attribute it stores only the minimum and maximum (and optionally assumes
+a normal distribution from the mean and standard deviation).  Selectivities
+are the product of per-attribute interval fractions under the chosen
+per-attribute model — the textbook "System R" style estimate.  It serves as
+the floor baseline in the accuracy experiments and as the "bad estimator"
+in the optimizer-impact experiment (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+from scipy import special
+
+from repro.core.errors import InvalidParameterError
+from repro.core.estimator import FLOAT_BYTES, SelectivityEstimator, register_estimator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
+    from repro.engine.table import Table
+from repro.workload.queries import RangeQuery
+
+__all__ = ["IndependenceEstimator"]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+@register_estimator("independence")
+class IndependenceEstimator(SelectivityEstimator):
+    """Uniform- or normal-per-attribute AVI estimator.
+
+    Parameters
+    ----------
+    model:
+        ``"uniform"`` assumes each attribute is uniform on ``[min, max]``;
+        ``"normal"`` assumes a normal distribution with the column's mean and
+        standard deviation.
+    """
+
+    name = "independence"
+
+    def __init__(self, model: str = "uniform") -> None:
+        super().__init__()
+        if model not in ("uniform", "normal"):
+            raise InvalidParameterError("model must be 'uniform' or 'normal'")
+        self.model = model
+        self._low: dict[str, float] = {}
+        self._high: dict[str, float] = {}
+        self._mean: dict[str, float] = {}
+        self._std: dict[str, float] = {}
+
+    def fit(self, table: Table, columns: Sequence[str] | None = None) -> "IndependenceEstimator":
+        columns = self._resolve_columns(table, columns)
+        self._low, self._high, self._mean, self._std = {}, {}, {}, {}
+        for column in columns:
+            stats = table.stats(column)
+            self._low[column] = stats.minimum if stats.count else 0.0
+            self._high[column] = stats.maximum if stats.count else 1.0
+            self._mean[column] = stats.mean if stats.count else 0.5
+            self._std[column] = stats.std if stats.count and stats.std > 0 else 1e-9
+        self._mark_fitted(columns, table.row_count)
+        return self
+
+    def estimate(self, query: RangeQuery) -> float:
+        self._query_bounds(query)
+        selectivity = 1.0
+        for attribute in query.attributes:
+            interval = query[attribute]
+            selectivity *= self._attribute_fraction(attribute, interval.low, interval.high)
+        return self._clip_fraction(selectivity)
+
+    def _attribute_fraction(self, attribute: str, low: float, high: float) -> float:
+        if high < low:
+            return 0.0
+        if self.model == "uniform":
+            domain_low = self._low[attribute]
+            domain_high = self._high[attribute]
+            width = domain_high - domain_low
+            if width <= 0:
+                return 1.0 if low <= domain_low <= high else 0.0
+            covered = min(high, domain_high) - max(low, domain_low)
+            return max(covered, 0.0) / width
+        mean = self._mean[attribute]
+        std = self._std[attribute]
+        upper = special.erf((high - mean) / (std * _SQRT2))
+        lower = special.erf((low - mean) / (std * _SQRT2))
+        return float(0.5 * (upper - lower))
+
+    def memory_bytes(self) -> int:
+        self._require_fitted()
+        per_attribute = 4  # min, max, mean, std
+        return int(per_attribute * len(self._columns) * FLOAT_BYTES)

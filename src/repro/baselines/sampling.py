@@ -1,0 +1,158 @@
+"""Sampling-based selectivity estimators.
+
+* :class:`SamplingEstimator` — a uniform random sample of the relation is
+  retained; the selectivity of a predicate is the fraction of sample rows
+  that satisfy it.  Unbiased but with variance ``p(1-p)/m`` for sample size
+  ``m``, which is what makes it unreliable for low-selectivity queries — the
+  behaviour Fig. 3 (error vs. query volume) demonstrates.
+* :class:`ReservoirSamplingEstimator` — the streaming variant: the sample is
+  maintained with a (optionally age-biased) reservoir so it can follow an
+  insert stream and, with the decayed reservoir, concept drift.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.core.estimator import (
+    FLOAT_BYTES,
+    SelectivityEstimator,
+    StreamingEstimator,
+    register_estimator,
+)
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
+    from repro.engine.table import Table
+from repro.stream.reservoir import DecayedReservoirSampler, ReservoirSampler
+from repro.workload.queries import RangeQuery
+
+__all__ = ["SamplingEstimator", "ReservoirSamplingEstimator"]
+
+
+def _fraction_in_box(rows: np.ndarray, lows: np.ndarray, highs: np.ndarray) -> float:
+    """Fraction of ``rows`` falling inside the box ``[lows, highs]``."""
+    if rows.shape[0] == 0:
+        return 0.0
+    inside = np.ones(rows.shape[0], dtype=bool)
+    for d in range(rows.shape[1]):
+        inside &= (rows[:, d] >= lows[d]) & (rows[:, d] <= highs[d])
+    return float(np.count_nonzero(inside)) / rows.shape[0]
+
+
+@register_estimator("sampling")
+class SamplingEstimator(SelectivityEstimator):
+    """Uniform random-sample synopsis.
+
+    Parameters
+    ----------
+    sample_size:
+        Number of rows retained.
+    seed:
+        Sampling seed (reproducibility).
+    """
+
+    name = "sampling"
+
+    def __init__(self, sample_size: int = 1000, seed: int | None = 0) -> None:
+        super().__init__()
+        if sample_size < 1:
+            raise InvalidParameterError("sample_size must be positive")
+        self.sample_size = int(sample_size)
+        self.seed = seed
+        self._rows = np.empty((0, 0))
+
+    def fit(self, table: Table, columns: Sequence[str] | None = None) -> "SamplingEstimator":
+        columns = self._resolve_columns(table, columns)
+        data = table.columns(columns)
+        rng = np.random.default_rng(self.seed)
+        if data.shape[0] > self.sample_size:
+            index = rng.choice(data.shape[0], size=self.sample_size, replace=False)
+            self._rows = data[index]
+        else:
+            self._rows = data.copy()
+        self._mark_fitted(columns, table.row_count)
+        return self
+
+    @property
+    def sample_rows(self) -> np.ndarray:
+        """Copy of the retained sample."""
+        self._require_fitted()
+        return self._rows.copy()
+
+    def estimate(self, query: RangeQuery) -> float:
+        lows, highs = self._query_bounds(query)
+        return self._clip_fraction(_fraction_in_box(self._rows, lows, highs))
+
+    def memory_bytes(self) -> int:
+        self._require_fitted()
+        return int(self._rows.size * FLOAT_BYTES)
+
+
+@register_estimator("reservoir_sampling")
+class ReservoirSamplingEstimator(StreamingEstimator):
+    """Streaming sample synopsis maintained by reservoir sampling.
+
+    Parameters
+    ----------
+    sample_size:
+        Reservoir capacity.
+    decay:
+        ``False`` keeps a uniform sample of the whole stream (Algorithm R);
+        ``True`` uses the age-biased reservoir so the sample — and therefore
+        the estimates — track the recent distribution under drift.
+    seed:
+        Reservoir replacement seed.
+    """
+
+    name = "reservoir_sampling"
+
+    def __init__(self, sample_size: int = 1000, decay: bool = False, seed: int | None = 0) -> None:
+        super().__init__()
+        if sample_size < 1:
+            raise InvalidParameterError("sample_size must be positive")
+        self.sample_size = int(sample_size)
+        self.decay = bool(decay)
+        self.seed = seed
+        self._reservoir: ReservoirSampler | None = None
+
+    def fit(
+        self, table: Table, columns: Sequence[str] | None = None
+    ) -> "ReservoirSamplingEstimator":
+        columns = self._resolve_columns(table, columns)
+        self.start(columns)
+        data = table.columns(columns)
+        if data.shape[0]:
+            self.insert(data)
+        self._mark_fitted(columns, table.row_count)
+        return self
+
+    def start(self, columns: Sequence[str]) -> "ReservoirSamplingEstimator":
+        """Initialise an empty reservoir over ``columns`` (stream-only use)."""
+        columns = list(columns)
+        if not columns:
+            raise InvalidParameterError("at least one column is required")
+        sampler_type = DecayedReservoirSampler if self.decay else ReservoirSampler
+        self._reservoir = sampler_type(self.sample_size, len(columns), seed=self.seed)
+        self._mark_fitted(columns, 0)
+        return self
+
+    def insert(self, rows: np.ndarray) -> None:
+        self._require_fitted()
+        assert self._reservoir is not None
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        self._reservoir.insert(rows)
+        self._row_count += rows.shape[0]
+
+    def estimate(self, query: RangeQuery) -> float:
+        lows, highs = self._query_bounds(query)
+        assert self._reservoir is not None
+        return self._clip_fraction(_fraction_in_box(self._reservoir.sample(), lows, highs))
+
+    def memory_bytes(self) -> int:
+        self._require_fitted()
+        assert self._reservoir is not None
+        return int(self._reservoir.capacity * self._reservoir.dimensions * FLOAT_BYTES)

@@ -1,0 +1,45 @@
+"""Core contribution: kernel-based adaptive selectivity estimators.
+
+Sub-modules
+-----------
+``kernels``
+    Smoothing kernels (pdf / cdf / interval mass).
+``bandwidth``
+    Rule-of-thumb, cross-validation and local (adaptive) bandwidth selection.
+``estimator``
+    The :class:`SelectivityEstimator` contract, registry and budget accounting.
+``kde``
+    Fixed-bandwidth sample-based KDE selectivity estimator.
+``adaptive``
+    Sample-point adaptive (variable-bandwidth) KDE.
+``streaming``
+    Bounded-memory streaming adaptive density estimator (cluster kernels).
+``feedback``
+    Query-feedback self-tuning wrapper.
+"""
+
+from repro.core.adaptive import AdaptiveKDEEstimator
+from repro.core.estimator import (
+    FeedbackEstimator,
+    SelectivityEstimator,
+    StreamingEstimator,
+    available_estimators,
+    create_estimator,
+    register_estimator,
+)
+from repro.core.feedback import FeedbackAdaptiveEstimator
+from repro.core.kde import KDESelectivityEstimator
+from repro.core.streaming import StreamingADE
+
+__all__ = [
+    "SelectivityEstimator",
+    "StreamingEstimator",
+    "FeedbackEstimator",
+    "KDESelectivityEstimator",
+    "AdaptiveKDEEstimator",
+    "StreamingADE",
+    "FeedbackAdaptiveEstimator",
+    "register_estimator",
+    "create_estimator",
+    "available_estimators",
+]

@@ -1,0 +1,286 @@
+"""Bandwidth selection rules for kernel density estimators.
+
+The bandwidth controls the bias/variance trade-off of the KDE and is the
+single most important parameter of a kernel-based selectivity estimator.
+This module implements the selection rules compared in the evaluation:
+
+* ``scott`` and ``silverman``: plug-in rules of thumb based on the sample
+  standard deviation (robustified with the inter-quartile range).
+* ``lscv``: least-squares cross-validation — minimises an unbiased estimate
+  of the integrated squared error over a bandwidth grid.
+* ``mlcv``: maximum-likelihood (leave-one-out) cross-validation.
+* :func:`local_bandwidth_factors`: Abramson-style local factors used by the
+  sample-point adaptive estimator.
+* :func:`knn_bandwidths`: k-nearest-neighbour balloon bandwidths.
+
+All functions operate on one attribute at a time; multivariate estimators
+use product kernels and therefore per-attribute bandwidths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.core.kernels import GaussianKernel, Kernel, get_kernel
+
+__all__ = [
+    "scott_bandwidth",
+    "silverman_bandwidth",
+    "robust_scale",
+    "lscv_bandwidth",
+    "mlcv_bandwidth",
+    "select_bandwidth",
+    "local_bandwidth_factors",
+    "knn_bandwidths",
+    "bandwidth_grid",
+]
+
+_MIN_BANDWIDTH = 1e-12
+
+
+def robust_scale(values: np.ndarray) -> float:
+    """Robust scale estimate ``min(std, IQR / 1.349)`` used by rules of thumb.
+
+    Falls back to the standard deviation when the IQR is degenerate (heavily
+    discretised data) and to a small positive constant when the data are
+    constant, so that downstream bandwidths are always positive.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return 1.0
+    std = float(np.std(values))
+    q75, q25 = np.percentile(values, [75.0, 25.0])
+    iqr = float(q75 - q25)
+    candidates = [c for c in (std, iqr / 1.349) if c > 0 and math.isfinite(c)]
+    if not candidates:
+        return _MIN_BANDWIDTH
+    return min(candidates)
+
+
+def scott_bandwidth(values: np.ndarray, dimensions: int = 1) -> float:
+    """Scott's rule ``h = σ n^{-1/(d+4)}`` for one attribute of a d-dim estimator."""
+    values = np.asarray(values, dtype=float)
+    n = max(values.size, 1)
+    scale = robust_scale(values)
+    return max(scale * n ** (-1.0 / (dimensions + 4)), _MIN_BANDWIDTH)
+
+
+def silverman_bandwidth(values: np.ndarray, dimensions: int = 1) -> float:
+    """Silverman's rule ``h = σ (4 / (d+2))^{1/(d+4)} n^{-1/(d+4)}``."""
+    values = np.asarray(values, dtype=float)
+    n = max(values.size, 1)
+    scale = robust_scale(values)
+    factor = (4.0 / (dimensions + 2.0)) ** (1.0 / (dimensions + 4.0))
+    return max(scale * factor * n ** (-1.0 / (dimensions + 4)), _MIN_BANDWIDTH)
+
+
+def bandwidth_grid(values: np.ndarray, size: int = 20, span: float = 8.0) -> np.ndarray:
+    """Geometric grid of candidate bandwidths around the Scott rule.
+
+    The grid covers ``[h_scott / span, h_scott * span^(1/2)]`` which is wide
+    enough to contain the CV optimum for the multimodal densities used in the
+    evaluation while staying cheap to search.
+    """
+    if size < 2:
+        raise InvalidParameterError("bandwidth grid needs at least 2 candidates")
+    pilot = scott_bandwidth(values)
+    low = pilot / span
+    high = pilot * math.sqrt(span)
+    return np.geomspace(max(low, _MIN_BANDWIDTH), max(high, 2 * _MIN_BANDWIDTH), size)
+
+
+def _pairwise_offsets(values: np.ndarray, max_points: int, rng: np.random.Generator | None) -> np.ndarray:
+    """Pairwise differences of (a subsample of) the data, used by CV criteria."""
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size > max_points:
+        rng = rng or np.random.default_rng(0)
+        values = rng.choice(values, size=max_points, replace=False)
+    return values[:, None] - values[None, :]
+
+
+def lscv_bandwidth(
+    values: np.ndarray,
+    kernel: str | Kernel = "gaussian",
+    candidates: Sequence[float] | None = None,
+    max_points: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Least-squares cross-validation bandwidth.
+
+    Minimises the unbiased ISE estimate
+
+        ``LSCV(h) = ∫ f̂² - 2/n Σ_i f̂_{-i}(x_i)``
+
+    over a geometric candidate grid.  For the Gaussian kernel, ``∫ f̂²`` has
+    the closed form convolution ``K*K = N(0, 2)``; for compact kernels the
+    convolution is approximated numerically on the standardised offsets.
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    n = values.size
+    if n < 3:
+        return scott_bandwidth(values)
+    kernel = get_kernel(kernel)
+    if candidates is None:
+        candidates = bandwidth_grid(values)
+    diffs = _pairwise_offsets(values, max_points, rng)
+    m = diffs.shape[0]
+    off_diagonal = ~np.eye(m, dtype=bool)
+
+    gaussian = isinstance(kernel, GaussianKernel)
+    best_h = float(candidates[0])
+    best_score = math.inf
+    for h in candidates:
+        u = diffs / h
+        if gaussian:
+            conv = np.exp(-0.25 * u * u) / (2.0 * math.sqrt(math.pi))
+        else:
+            conv = _numeric_self_convolution(kernel, u)
+        leave_one_out = kernel.pdf(u)[off_diagonal]
+        integral_sq = conv.sum() / (m * m * h)
+        cross = 2.0 * leave_one_out.sum() / (m * (m - 1) * h)
+        score = integral_sq - cross
+        if score < best_score:
+            best_score = score
+            best_h = float(h)
+    return max(best_h, _MIN_BANDWIDTH)
+
+
+def _numeric_self_convolution(kernel: Kernel, u: np.ndarray, points: int = 64) -> np.ndarray:
+    """Numerically evaluate ``(K*K)(u)`` for kernels without a closed form."""
+    radius = kernel.support_radius if math.isfinite(kernel.support_radius) else 6.0
+    grid = np.linspace(-radius, radius, points)
+    weights = kernel.pdf(grid)
+    step = grid[1] - grid[0]
+    # (K*K)(u) = ∫ K(t) K(u - t) dt approximated by the trapezoid rule.
+    shifted = kernel.pdf(u[..., None] - grid)
+    return np.trapezoid(shifted * weights, dx=step, axis=-1)
+
+
+def mlcv_bandwidth(
+    values: np.ndarray,
+    kernel: str | Kernel = "gaussian",
+    candidates: Sequence[float] | None = None,
+    max_points: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Maximum-likelihood (leave-one-out) cross-validation bandwidth."""
+    values = np.asarray(values, dtype=float).ravel()
+    n = values.size
+    if n < 3:
+        return scott_bandwidth(values)
+    kernel = get_kernel(kernel)
+    if candidates is None:
+        candidates = bandwidth_grid(values)
+    diffs = _pairwise_offsets(values, max_points, rng)
+    m = diffs.shape[0]
+    off_diagonal = ~np.eye(m, dtype=bool)
+
+    best_h = float(candidates[0])
+    best_score = -math.inf
+    for h in candidates:
+        contributions = kernel.pdf(diffs / h)
+        contributions = np.where(off_diagonal, contributions, 0.0)
+        leave_one_out = contributions.sum(axis=1) / ((m - 1) * h)
+        log_likelihood = float(np.sum(np.log(np.maximum(leave_one_out, 1e-300))))
+        if log_likelihood > best_score:
+            best_score = log_likelihood
+            best_h = float(h)
+    return max(best_h, _MIN_BANDWIDTH)
+
+
+_RULES: dict[str, Callable[..., float]] = {
+    "scott": scott_bandwidth,
+    "silverman": silverman_bandwidth,
+}
+
+
+def select_bandwidth(
+    values: np.ndarray,
+    rule: str = "scott",
+    dimensions: int = 1,
+    kernel: str | Kernel = "gaussian",
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Select a bandwidth for one attribute using the named rule.
+
+    ``rule`` is one of ``"scott"``, ``"silverman"``, ``"lscv"``, ``"mlcv"``.
+    """
+    if rule in _RULES:
+        return _RULES[rule](values, dimensions=dimensions)
+    if rule == "lscv":
+        return lscv_bandwidth(values, kernel=kernel, rng=rng)
+    if rule == "mlcv":
+        return mlcv_bandwidth(values, kernel=kernel, rng=rng)
+    raise InvalidParameterError(
+        f"unknown bandwidth rule {rule!r}; expected scott, silverman, lscv or mlcv"
+    )
+
+
+def local_bandwidth_factors(
+    pilot_density: np.ndarray, sensitivity: float = 0.5, max_factor: float = 3.0
+) -> np.ndarray:
+    """Abramson-style local bandwidth factors from a pilot density estimate.
+
+    Sample points in low-density regions get larger factors (wider kernels),
+    points in dense regions get smaller factors.  Factors are normalised so
+    their geometric mean is 1, which keeps the global amount of smoothing
+    comparable to the fixed-bandwidth estimator, and clipped to
+    ``[1/max_factor, max_factor]``: unclipped Abramson factors in the far
+    tails spread kernel mass deep into empty regions, which is precisely
+    where range-selectivity error is measured most harshly.
+
+    Parameters
+    ----------
+    pilot_density:
+        Pilot density evaluated at every sample point (positive values).
+    sensitivity:
+        Exponent ``α ∈ [0, 1]``; 0 reproduces the fixed-bandwidth estimator,
+        0.5 is Abramson's square-root law.
+    max_factor:
+        Symmetric clip bound on the factors (must be ≥ 1).
+    """
+    if not 0.0 <= sensitivity <= 1.0:
+        raise InvalidParameterError("sensitivity must lie in [0, 1]")
+    if max_factor < 1.0:
+        raise InvalidParameterError("max_factor must be at least 1")
+    density = np.asarray(pilot_density, dtype=float)
+    if density.size == 0:
+        return np.ones(0)
+    floor = max(float(np.max(density)) * 1e-12, 1e-300)
+    density = np.maximum(density, floor)
+    log_geometric_mean = float(np.mean(np.log(density)))
+    geometric_mean = math.exp(log_geometric_mean)
+    factors = (density / geometric_mean) ** (-sensitivity)
+    return np.clip(factors, 1.0 / max_factor, max_factor)
+
+
+def knn_bandwidths(values: np.ndarray, k: int | None = None) -> np.ndarray:
+    """k-nearest-neighbour bandwidths: distance of each point to its k-th neighbour.
+
+    A simple balloon-style local bandwidth used as an alternative adaptive
+    scheme in the bandwidth ablation; O(n log n) via sorting (1-D only).
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    n = values.size
+    if n == 0:
+        return np.ones(0)
+    if k is None:
+        k = max(int(round(math.sqrt(n))), 1)
+    k = min(max(k, 1), n - 1) if n > 1 else 1
+    order = np.argsort(values)
+    sorted_values = values[order]
+    bandwidths = np.empty(n)
+    for rank, value in enumerate(sorted_values):
+        low = max(rank - k, 0)
+        high = min(rank + k, n - 1)
+        window = sorted_values[low : high + 1]
+        distances = np.sort(np.abs(window - value))
+        index = min(k, distances.size - 1)
+        bandwidths[rank] = max(distances[index], _MIN_BANDWIDTH)
+    result = np.empty(n)
+    result[order] = bandwidths
+    return result

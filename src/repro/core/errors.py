@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming mistakes such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NotFittedError(ReproError):
+    """An estimator method that requires ``fit()`` was called before fitting."""
+
+
+class DimensionMismatchError(ReproError):
+    """A query or data batch does not match the estimator's attribute set."""
+
+
+class InvalidQueryError(ReproError):
+    """A query is malformed (e.g. lower bound above upper bound)."""
+
+
+class InvalidParameterError(ReproError):
+    """A constructor or method argument is outside its valid domain."""
+
+
+class BudgetError(ReproError):
+    """A space budget is too small to build the requested synopsis."""
+
+
+class CatalogError(ReproError):
+    """A table or column referenced in the catalog does not exist."""
+
+
+class StreamError(ReproError):
+    """A streaming operation was used incorrectly (e.g. insert before fit)."""

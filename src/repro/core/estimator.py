@@ -1,0 +1,229 @@
+"""Estimator interface, registry and space-budget accounting.
+
+Every synopsis in this library — the adaptive KDE models as well as the
+baseline histograms, samples and wavelet synopses — implements the
+:class:`SelectivityEstimator` contract:
+
+* ``fit(table, columns)`` builds the synopsis from a table,
+* ``estimate(query)`` returns a selectivity in ``[0, 1]``,
+* ``estimate_cardinality(query)`` scales it by the (tracked) row count,
+* ``memory_bytes()`` reports the synopsis footprint so comparisons between
+  estimators can be made at equal space budget,
+* streaming estimators additionally implement ``insert(rows)``,
+* self-tuning estimators additionally implement ``feedback(query, truth)``.
+
+A simple name-based registry (:func:`register_estimator`,
+:func:`create_estimator`) lets the experiment harness instantiate estimators
+from configuration dictionaries.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import (
+    DimensionMismatchError,
+    InvalidParameterError,
+    NotFittedError,
+)
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
+    from repro.engine.table import Table
+from repro.workload.queries import RangeQuery
+
+__all__ = [
+    "SelectivityEstimator",
+    "StreamingEstimator",
+    "FeedbackEstimator",
+    "register_estimator",
+    "create_estimator",
+    "available_estimators",
+    "FLOAT_BYTES",
+]
+
+#: Size in bytes charged per stored floating-point value in space budgets.
+FLOAT_BYTES = 8
+
+
+class SelectivityEstimator(ABC):
+    """Abstract base class of every synopsis.
+
+    Subclasses must call :meth:`_mark_fitted` at the end of ``fit`` and use
+    :meth:`_require_fitted` in methods that need a built synopsis.
+    """
+
+    #: registry name; subclasses override.
+    name: str = "estimator"
+
+    def __init__(self) -> None:
+        self._fitted = False
+        self._columns: tuple[str, ...] = ()
+        self._row_count = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    @abstractmethod
+    def fit(self, table: Table, columns: Sequence[str] | None = None) -> "SelectivityEstimator":
+        """Build the synopsis from ``table`` over ``columns`` (default: all)."""
+
+    @abstractmethod
+    def estimate(self, query: RangeQuery) -> float:
+        """Estimated fraction of rows satisfying ``query``, in ``[0, 1]``."""
+
+    @abstractmethod
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the synopsis in bytes."""
+
+    # -- shared helpers ------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        """Whether ``fit`` has completed."""
+        return self._fitted
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Attributes covered by the synopsis (set during ``fit``)."""
+        return self._columns
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows the synopsis currently models."""
+        return self._row_count
+
+    def estimate_cardinality(self, query: RangeQuery) -> float:
+        """Estimated number of qualifying rows (selectivity × row count)."""
+        return self.estimate(query) * self._row_count
+
+    def estimate_many(self, queries: Iterable[RangeQuery]) -> np.ndarray:
+        """Vector of estimates for a sequence of queries."""
+        return np.array([self.estimate(q) for q in queries], dtype=float)
+
+    def _mark_fitted(self, columns: Sequence[str], row_count: int) -> None:
+        self._columns = tuple(columns)
+        self._row_count = int(row_count)
+        self._fitted = True
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} must be fitted before use")
+
+    def _resolve_columns(self, table: Table, columns: Sequence[str] | None) -> list[str]:
+        resolved = list(columns) if columns is not None else list(table.column_names)
+        if not resolved:
+            raise InvalidParameterError("at least one column is required")
+        for column in resolved:
+            if column not in table:
+                raise DimensionMismatchError(
+                    f"table {table.name!r} has no column {column!r}"
+                )
+        return resolved
+
+    def _query_bounds(self, query: RangeQuery) -> tuple[np.ndarray, np.ndarray]:
+        """Bounds of ``query`` aligned with the fitted columns.
+
+        Raises if the query constrains an attribute the synopsis does not
+        cover — that estimate would silently ignore a predicate otherwise.
+        """
+        self._require_fitted()
+        unknown = set(query.attributes) - set(self._columns)
+        if unknown:
+            raise DimensionMismatchError(
+                f"query constrains {sorted(unknown)} which are not covered by this synopsis "
+                f"(covered: {list(self._columns)})"
+            )
+        return query.bounds(self._columns)
+
+    @staticmethod
+    def _clip_fraction(value: float) -> float:
+        """Clip an estimate into the legal selectivity range ``[0, 1]``."""
+        if np.isnan(value):
+            return 0.0
+        return float(min(max(value, 0.0), 1.0))
+
+    def describe(self) -> dict[str, Any]:
+        """Small structured description used in experiment reports."""
+        return {
+            "name": self.name,
+            "class": type(self).__name__,
+            "columns": list(self._columns),
+            "rows_modelled": self._row_count,
+            "memory_bytes": self.memory_bytes() if self._fitted else 0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "fitted" if self._fitted else "unfitted"
+        return f"{type(self).__name__}({status}, columns={list(self._columns)})"
+
+
+class StreamingEstimator(SelectivityEstimator):
+    """A synopsis that can be maintained incrementally over an insert stream."""
+
+    @abstractmethod
+    def insert(self, rows: np.ndarray) -> None:
+        """Fold a batch of new rows (``(batch, len(columns))`` matrix) into the synopsis."""
+
+    def insert_row(self, row: Sequence[float]) -> None:
+        """Convenience wrapper to insert a single row."""
+        self.insert(np.asarray(row, dtype=float).reshape(1, -1))
+
+
+class FeedbackEstimator(SelectivityEstimator):
+    """A synopsis that self-tunes from observed true selectivities."""
+
+    @abstractmethod
+    def feedback(self, query: RangeQuery, true_fraction: float) -> None:
+        """Incorporate the observed true selectivity of an executed query."""
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[..., SelectivityEstimator]] = {}
+
+
+def register_estimator(name: str, factory: Callable[..., SelectivityEstimator] | None = None):
+    """Register an estimator factory under ``name``.
+
+    Can be used as a decorator on the estimator class::
+
+        @register_estimator("equiwidth")
+        class EquiWidthHistogram(SelectivityEstimator): ...
+    """
+
+    def _register(target: Callable[..., SelectivityEstimator]):
+        if name in _REGISTRY:
+            raise InvalidParameterError(f"estimator name {name!r} is already registered")
+        _REGISTRY[name] = target
+        return target
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def create_estimator(name: str, **kwargs: Any) -> SelectivityEstimator:
+    """Instantiate a registered estimator by name with keyword arguments."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown estimator {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_estimators() -> list[str]:
+    """Names of all registered estimators."""
+    return sorted(_REGISTRY)
+
+
+def estimator_from_config(config: Mapping[str, Any]) -> SelectivityEstimator:
+    """Build an estimator from ``{"name": ..., **params}`` configuration."""
+    if "name" not in config:
+        raise InvalidParameterError("estimator config requires a 'name' key")
+    params = {k: v for k, v in config.items() if k != "name"}
+    return create_estimator(str(config["name"]), **params)

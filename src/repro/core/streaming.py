@@ -1,0 +1,390 @@
+"""Streaming adaptive density estimator (the core contribution).
+
+:class:`StreamingADE` maintains a bounded-size mixture of weighted Gaussian
+*cluster kernels* over an insert stream.  Each kernel stores a weight, a mean
+vector and a per-attribute variance.  New tuples either open a new kernel or
+are merged into the nearest existing kernel with a moment-preserving update,
+so memory never exceeds the configured budget regardless of stream length.
+An optional exponential decay down-weights stale kernels so the model tracks
+concept drift; kernels whose weight decays below a pruning threshold are
+dropped, freeing budget for the current distribution.
+
+Range selectivities are computed exactly as for a product-Gaussian mixture:
+each kernel contributes its weight times the product over attributes of the
+normal mass inside the queried interval, where the per-attribute standard
+deviation combines the kernel's own spread with a global smoothing bandwidth
+(so even freshly created, zero-variance kernels are smoothed).
+
+This is the streaming counterpart of :class:`repro.core.adaptive.AdaptiveKDEEstimator`:
+kernels in dense regions accumulate weight and stay narrow, kernels in sparse
+regions stay wide — the bandwidth adapts locally through the merge process
+itself rather than through explicit Abramson factors.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+from scipy import special
+
+from repro.core.errors import InvalidParameterError, StreamError
+from repro.core.estimator import FLOAT_BYTES, StreamingEstimator, register_estimator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
+    from repro.engine.table import Table
+from repro.workload.queries import RangeQuery
+
+__all__ = ["StreamingADE"]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _normal_interval_mass(
+    lows: np.ndarray, highs: np.ndarray, means: np.ndarray, stds: np.ndarray
+) -> np.ndarray:
+    """Mass of N(means, stds²) inside [lows, highs], elementwise."""
+    upper = special.erf((highs - means) / (stds * _SQRT2))
+    lower = special.erf((lows - means) / (stds * _SQRT2))
+    return np.clip(0.5 * (upper - lower), 0.0, 1.0)
+
+
+@register_estimator("streaming_ade")
+class StreamingADE(StreamingEstimator):
+    """Bounded-memory streaming adaptive density estimator.
+
+    Parameters
+    ----------
+    max_kernels:
+        Maximum number of cluster kernels retained (the space budget).
+    decay:
+        Per-tuple exponential decay applied to existing kernel weights before
+        each insert.  ``1.0`` disables decay (landmark model); values such as
+        ``1 - 1e-4`` give a half-life of ≈6.9k tuples, letting the model
+        forget pre-drift data.
+    merge_threshold:
+        Distance (in units of per-attribute smoothing bandwidths) under which
+        a new tuple is merged into its nearest kernel even when budget is
+        still available.  Keeps duplicate-heavy streams from exhausting the
+        budget on identical points.
+    prune_weight:
+        Kernels whose weight falls below this fraction of the mean kernel
+        weight are discarded during compression.
+    smoothing_factor:
+        Multiplier on the Scott-rule global smoothing bandwidth.
+    seed:
+        Seed for tie-breaking randomness (unused in the default policy but
+        kept for reproducible subclasses).
+    """
+
+    name = "streaming_ade"
+
+    def __init__(
+        self,
+        max_kernels: int = 256,
+        decay: float = 1.0,
+        merge_threshold: float = 0.25,
+        prune_weight: float = 1e-3,
+        smoothing_factor: float = 1.0,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__()
+        if max_kernels < 2:
+            raise InvalidParameterError("max_kernels must be at least 2")
+        if not 0.0 < decay <= 1.0:
+            raise InvalidParameterError("decay must lie in (0, 1]")
+        if merge_threshold < 0:
+            raise InvalidParameterError("merge_threshold must be non-negative")
+        if smoothing_factor <= 0:
+            raise InvalidParameterError("smoothing_factor must be positive")
+        self.max_kernels = int(max_kernels)
+        self.decay = float(decay)
+        self.merge_threshold = float(merge_threshold)
+        self.prune_weight = float(prune_weight)
+        self.smoothing_factor = float(smoothing_factor)
+        self.seed = seed
+
+        self._dims = 0
+        self._means = np.empty((0, 0))
+        self._variances = np.empty((0, 0))
+        self._weights = np.empty(0)
+        self._total_seen = 0.0
+        self._domain_low = np.empty(0)
+        self._domain_high = np.empty(0)
+        # Running (decayed) sums used for the global smoothing bandwidth.
+        self._sum_w = 0.0
+        self._sum_wx = np.empty(0)
+        self._sum_wx2 = np.empty(0)
+
+    # -- lifecycle ---------------------------------------------------------
+    def fit(self, table: Table, columns: Sequence[str] | None = None) -> "StreamingADE":
+        """Initialise the model and stream every row of ``table`` through it."""
+        columns = self._resolve_columns(table, columns)
+        self.start(columns)
+        data = table.columns(columns)
+        if data.shape[0] > 0:
+            self.insert(data)
+        self._mark_fitted(columns, table.row_count)
+        return self
+
+    def start(self, columns: Sequence[str]) -> "StreamingADE":
+        """Initialise an empty model over ``columns`` without any data.
+
+        Use this when the relation is consumed purely as a stream; the model
+        becomes usable (``is_fitted``) immediately with zero rows modelled.
+        """
+        columns = list(columns)
+        if not columns:
+            raise InvalidParameterError("at least one column is required")
+        self._dims = len(columns)
+        self._means = np.empty((0, self._dims))
+        self._variances = np.empty((0, self._dims))
+        self._weights = np.empty(0)
+        self._total_seen = 0.0
+        self._domain_low = np.full(self._dims, np.inf)
+        self._domain_high = np.full(self._dims, -np.inf)
+        self._sum_w = 0.0
+        self._sum_wx = np.zeros(self._dims)
+        self._sum_wx2 = np.zeros(self._dims)
+        self._mark_fitted(columns, 0)
+        return self
+
+    # -- streaming maintenance -----------------------------------------------
+    def insert(self, rows: np.ndarray) -> None:
+        """Fold a batch of rows into the model, one tuple at a time."""
+        if not self.is_fitted:
+            raise StreamError("call fit() or start() before insert()")
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        if rows.shape[1] != self._dims:
+            raise StreamError(
+                f"insert expects rows with {self._dims} attributes, got {rows.shape[1]}"
+            )
+        for row in rows:
+            self._insert_one(row)
+        self._row_count += rows.shape[0]
+
+    def _insert_one(self, row: np.ndarray) -> None:
+        if self.decay < 1.0 and self._weights.size:
+            self._weights *= self.decay
+            self._sum_w *= self.decay
+            self._sum_wx *= self.decay
+            self._sum_wx2 *= self.decay
+        self._total_seen += 1.0
+        self._sum_w += 1.0
+        self._sum_wx += row
+        self._sum_wx2 += row * row
+        self._domain_low = np.minimum(self._domain_low, row)
+        self._domain_high = np.maximum(self._domain_high, row)
+
+        if self._weights.size == 0:
+            self._append_kernel(row)
+            return
+
+        smoothing = self._smoothing_bandwidths()
+        distances = np.abs(self._means - row)
+        scores = (distances / smoothing).max(axis=1)
+        nearest = int(np.argmin(scores))
+
+        at_capacity = self._weights.size >= self.max_kernels
+        if not at_capacity:
+            # Budget available: only coalesce near-duplicates, otherwise give
+            # the tuple its own kernel so local structure is preserved.
+            if scores[nearest] <= self.merge_threshold:
+                self._merge_point(nearest, row)
+            else:
+                self._append_kernel(row)
+            return
+
+        # At capacity.  Absorb the tuple into its nearest kernel when it falls
+        # within that kernel's natural catchment area (the expected spacing of
+        # kernels over the observed domain).  A tuple far from every kernel —
+        # an outlier or the first evidence of a drifted mode — must not
+        # inflate an existing kernel's variance; instead the two closest
+        # existing kernels are merged to free budget and the tuple becomes a
+        # new, tight kernel (the classical M-Kernel maintenance step).
+        spacing = self._kernel_spacing()
+        within_catchment = bool(np.all(distances[nearest] <= spacing))
+        if within_catchment:
+            self._merge_point(nearest, row)
+        else:
+            self._merge_closest_pair()
+            self._append_kernel(row)
+        self._prune()
+
+    def _kernel_spacing(self) -> np.ndarray:
+        """Expected per-attribute spacing of ``max_kernels`` kernels over the domain."""
+        width = self._domain_high - self._domain_low
+        width = np.where(np.isfinite(width) & (width > 0), width, 1.0)
+        spacing = width * self.max_kernels ** (-1.0 / self._dims)
+        return np.maximum(spacing, self._smoothing_bandwidths())
+
+    def _append_kernel(self, row: np.ndarray) -> None:
+        self._means = np.vstack([self._means, row[None, :]])
+        self._variances = np.vstack([self._variances, np.zeros((1, self._dims))])
+        self._weights = np.append(self._weights, 1.0)
+
+    def _merge_point(self, index: int, row: np.ndarray) -> None:
+        """Moment-preserving merge of a unit-weight point into kernel ``index``."""
+        w = self._weights[index]
+        mean = self._means[index]
+        var = self._variances[index]
+        total = w + 1.0
+        new_mean = (w * mean + row) / total
+        # Combine within-kernel variance with the between-component spread.
+        new_var = (w * (var + mean**2) + row**2) / total - new_mean**2
+        self._weights[index] = total
+        self._means[index] = new_mean
+        self._variances[index] = np.maximum(new_var, 0.0)
+
+    def _prune(self) -> None:
+        """Drop kernels whose weight decayed to insignificance."""
+        if self._weights.size == 0:
+            return
+        threshold = self.prune_weight * float(self._weights.mean())
+        keep = self._weights >= threshold
+        if keep.all():
+            return
+        # Never prune everything: keep at least the heaviest kernel.
+        if not keep.any():
+            keep[int(np.argmax(self._weights))] = True
+        self._means = self._means[keep]
+        self._variances = self._variances[keep]
+        self._weights = self._weights[keep]
+
+    def compress(self, target_kernels: int | None = None) -> None:
+        """Merge closest kernel pairs until at most ``target_kernels`` remain.
+
+        This is the offline compaction step; the online path never exceeds
+        ``max_kernels``, but callers may shrink an existing model to a smaller
+        budget (e.g. before shipping statistics to another node).
+        """
+        target = target_kernels if target_kernels is not None else self.max_kernels
+        if target < 1:
+            raise InvalidParameterError("target_kernels must be positive")
+        while self._weights.size > target:
+            self._merge_closest_pair()
+
+    def _merge_closest_pair(self) -> None:
+        smoothing = self._smoothing_bandwidths()
+        normalised = self._means / smoothing
+        # Pairwise max-norm distances; O(K²) but only used by compress().
+        diff = np.abs(normalised[:, None, :] - normalised[None, :, :]).max(axis=2)
+        np.fill_diagonal(diff, np.inf)
+        i, j = np.unravel_index(int(np.argmin(diff)), diff.shape)
+        wi, wj = self._weights[i], self._weights[j]
+        total = wi + wj
+        mean = (wi * self._means[i] + wj * self._means[j]) / total
+        var = (
+            wi * (self._variances[i] + self._means[i] ** 2)
+            + wj * (self._variances[j] + self._means[j] ** 2)
+        ) / total - mean**2
+        self._weights[i] = total
+        self._means[i] = mean
+        self._variances[i] = np.maximum(var, 0.0)
+        keep = np.ones(self._weights.size, dtype=bool)
+        keep[j] = False
+        self._means = self._means[keep]
+        self._variances = self._variances[keep]
+        self._weights = self._weights[keep]
+
+    # -- model introspection -----------------------------------------------------
+    @property
+    def kernel_count(self) -> int:
+        """Number of cluster kernels currently stored."""
+        return int(self._weights.size)
+
+    @property
+    def kernel_weights(self) -> np.ndarray:
+        """Copy of the kernel weights."""
+        return self._weights.copy()
+
+    @property
+    def kernel_means(self) -> np.ndarray:
+        """Copy of the kernel mean vectors (``(K, d)``)."""
+        return self._means.copy()
+
+    @property
+    def kernel_variances(self) -> np.ndarray:
+        """Copy of the per-attribute kernel variances (``(K, d)``)."""
+        return self._variances.copy()
+
+    @property
+    def effective_count(self) -> float:
+        """Decayed number of tuples the model currently represents."""
+        return float(self._weights.sum())
+
+    def memory_bytes(self) -> int:
+        self._require_fitted()
+        kernel_floats = self._weights.size * (2 * self._dims + 1)
+        running_floats = 2 * self._dims + self._sum_wx.size + self._sum_wx2.size + 1
+        return int((kernel_floats + running_floats) * FLOAT_BYTES)
+
+    def _smoothing_bandwidths(self) -> np.ndarray:
+        """Per-attribute smoothing bandwidth (Scott rule on the *local* spread).
+
+        The scale is the weighted average within-kernel standard deviation,
+        not the global standard deviation: on multimodal data the global
+        spread covers the gaps between clusters and would smear kernel mass
+        into empty regions — exactly the over-smoothing failure the adaptive
+        estimator is meant to avoid.  While the model is young (all kernels
+        still have zero variance) the global spread is used as a fallback.
+        """
+        if self._sum_w <= 0:
+            return np.ones(self._dims)
+        mean = self._sum_wx / self._sum_w
+        global_var = np.maximum(self._sum_wx2 / self._sum_w - mean**2, 0.0)
+        global_std = np.sqrt(global_var)
+        if self._weights.size:
+            total = float(self._weights.sum())
+            within_var = (self._weights @ self._variances) / max(total, 1e-12)
+            within_std = np.sqrt(np.maximum(within_var, 0.0))
+        else:
+            within_std = np.zeros(self._dims)
+        width = np.where(
+            np.isfinite(self._domain_high - self._domain_low),
+            np.maximum(self._domain_high - self._domain_low, 0.0),
+            1.0,
+        )
+        fallback = np.where(global_std > 0, global_std, np.maximum(width, 1.0) * 0.1)
+        scale = np.where(within_std > 0, within_std, fallback)
+        n_eff = max(self._sum_w, 2.0)
+        h = scale * n_eff ** (-1.0 / (self._dims + 4))
+        return np.maximum(h * self.smoothing_factor, 1e-9)
+
+    # -- estimation -------------------------------------------------------------
+    def estimate(self, query: RangeQuery) -> float:
+        lows, highs = self._query_bounds(query)
+        if self._weights.size == 0:
+            return 0.0
+        smoothing = self._smoothing_bandwidths()
+        stds = np.sqrt(self._variances + smoothing**2)
+        mass = np.ones(self._weights.size)
+        for d in range(self._dims):
+            mass *= _normal_interval_mass(lows[d], highs[d], self._means[:, d], stds[:, d])
+        total = float(self._weights.sum())
+        if total <= 0:
+            return 0.0
+        return self._clip_fraction(float(np.dot(mass, self._weights) / total))
+
+    def density(self, points: np.ndarray) -> np.ndarray:
+        """Evaluate the mixture density at ``points`` (``(m, d)`` matrix)."""
+        self._require_fitted()
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if points.shape[1] != self._dims:
+            raise InvalidParameterError(f"density expects {self._dims}-dimensional points")
+        if self._weights.size == 0:
+            return np.zeros(points.shape[0])
+        smoothing = self._smoothing_bandwidths()
+        stds = np.sqrt(self._variances + smoothing**2)
+        total = float(self._weights.sum())
+        result = np.zeros(points.shape[0])
+        for start in range(0, points.shape[0], 1024):
+            chunk = points[start : start + 1024]
+            values = np.ones((chunk.shape[0], self._weights.size))
+            for d in range(self._dims):
+                z = (chunk[:, d, None] - self._means[None, :, d]) / stds[None, :, d]
+                values *= np.exp(-0.5 * z * z) / (stds[None, :, d] * math.sqrt(2 * math.pi))
+            result[start : start + 1024] = values @ self._weights / total
+        return result

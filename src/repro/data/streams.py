@@ -1,0 +1,168 @@
+"""Drifting data streams for the adaptivity experiments.
+
+A :class:`DataStream` produces batches of rows whose generating distribution
+may change over time.  The drift experiments (Fig. 5, Table 4) consume these
+streams, feeding each batch both to the exact engine table (ground truth) and
+to the streaming synopses under test.
+
+Three drift patterns are provided:
+
+* :func:`stationary_stream` — no drift; sanity baseline.
+* :func:`sudden_drift_stream` — the distribution switches abruptly at given
+  breakpoints (e.g. a fact table starts receiving a new product family).
+* :func:`gradual_drift_stream` — the cluster centres move continuously, so
+  the distribution at the end of the stream shares no mass with the start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.data.generators import sample_gaussian_mixture
+
+__all__ = [
+    "DataStream",
+    "stationary_stream",
+    "sudden_drift_stream",
+    "gradual_drift_stream",
+]
+
+
+@dataclass
+class DataStream:
+    """A finite stream of row batches with a known per-batch generator.
+
+    Attributes
+    ----------
+    dimensions:
+        Attribute count of every row.
+    batch_size:
+        Number of rows per batch.
+    batches:
+        Number of batches in the stream.
+    generator:
+        ``generator(batch_index, rng) -> (batch_size, dimensions)`` array.
+    seed:
+        Seed of the stream's random generator.
+    """
+
+    dimensions: int
+    batch_size: int
+    batches: int
+    generator: Callable[[int, np.random.Generator], np.ndarray]
+    seed: int | None = 0
+    name: str = "stream"
+
+    def __post_init__(self) -> None:
+        if self.dimensions < 1:
+            raise InvalidParameterError("dimensions must be positive")
+        if self.batch_size < 1:
+            raise InvalidParameterError("batch_size must be positive")
+        if self.batches < 1:
+            raise InvalidParameterError("batches must be positive")
+
+    @property
+    def total_rows(self) -> int:
+        """Total number of rows the stream will produce."""
+        return self.batch_size * self.batches
+
+    @property
+    def column_names(self) -> list[str]:
+        """Default column names ``x0 … x{d-1}``."""
+        return [f"x{i}" for i in range(self.dimensions)]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        for index in range(self.batches):
+            batch = np.atleast_2d(np.asarray(self.generator(index, rng), dtype=float))
+            if batch.shape != (self.batch_size, self.dimensions):
+                raise InvalidParameterError(
+                    f"stream generator returned shape {batch.shape}, "
+                    f"expected {(self.batch_size, self.dimensions)}"
+                )
+            yield batch
+
+    def materialize(self) -> np.ndarray:
+        """All rows of the stream as one ``(total_rows, dimensions)`` matrix."""
+        return np.vstack(list(self))
+
+
+def _mixture_batch(
+    rng: np.random.Generator,
+    batch_size: int,
+    centers: np.ndarray,
+    stds: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    return sample_gaussian_mixture(batch_size, centers, stds, weights, rng)
+
+
+def stationary_stream(
+    dimensions: int = 1,
+    batch_size: int = 500,
+    batches: int = 100,
+    seed: int | None = 0,
+) -> DataStream:
+    """A stream whose Gaussian-mixture distribution never changes."""
+    base = np.random.default_rng(seed)
+    centers = base.uniform(0.0, 10.0, size=(3, dimensions))
+    stds = np.full((3, dimensions), 0.5)
+    weights = np.array([0.5, 0.3, 0.2])
+
+    def generate(_: int, rng: np.random.Generator) -> np.ndarray:
+        return _mixture_batch(rng, batch_size, centers, stds, weights)
+
+    return DataStream(dimensions, batch_size, batches, generate, seed=seed, name="stationary")
+
+
+def sudden_drift_stream(
+    dimensions: int = 1,
+    batch_size: int = 500,
+    batches: int = 100,
+    drift_at: Sequence[float] = (0.5,),
+    shift: float = 8.0,
+    seed: int | None = 0,
+) -> DataStream:
+    """A stream whose distribution jumps by ``shift`` at each relative breakpoint.
+
+    ``drift_at`` lists breakpoints as fractions of the stream length; after
+    the k-th breakpoint the mixture centres are translated by ``k * shift``.
+    """
+    for point in drift_at:
+        if not 0.0 < point < 1.0:
+            raise InvalidParameterError("drift points must lie strictly inside (0, 1)")
+    base = np.random.default_rng(seed)
+    centers = base.uniform(0.0, 5.0, size=(3, dimensions))
+    stds = np.full((3, dimensions), 0.5)
+    weights = np.array([0.5, 0.3, 0.2])
+    breakpoints = sorted(int(round(p * batches)) for p in drift_at)
+
+    def generate(index: int, rng: np.random.Generator) -> np.ndarray:
+        jumps = sum(1 for b in breakpoints if index >= b)
+        return _mixture_batch(rng, batch_size, centers + jumps * shift, stds, weights)
+
+    return DataStream(dimensions, batch_size, batches, generate, seed=seed, name="sudden_drift")
+
+
+def gradual_drift_stream(
+    dimensions: int = 1,
+    batch_size: int = 500,
+    batches: int = 100,
+    total_shift: float = 10.0,
+    seed: int | None = 0,
+) -> DataStream:
+    """A stream whose mixture centres move linearly by ``total_shift`` overall."""
+    base = np.random.default_rng(seed)
+    centers = base.uniform(0.0, 5.0, size=(3, dimensions))
+    stds = np.full((3, dimensions), 0.5)
+    weights = np.array([0.5, 0.3, 0.2])
+
+    def generate(index: int, rng: np.random.Generator) -> np.ndarray:
+        progress = index / max(batches - 1, 1)
+        return _mixture_batch(rng, batch_size, centers + progress * total_shift, stds, weights)
+
+    return DataStream(dimensions, batch_size, batches, generate, seed=seed, name="gradual_drift")

@@ -1,0 +1,20 @@
+"""Execution engine: tables, catalog, exact executor and toy optimizer."""
+
+from repro.engine.catalog import Catalog
+from repro.engine.executor import EvaluationResult, Executor, QueryResult, evaluate_estimator
+from repro.engine.optimizer import JoinSpec, Optimizer, Plan, plan_regret
+from repro.engine.table import ColumnStats, Table
+
+__all__ = [
+    "Table",
+    "ColumnStats",
+    "Catalog",
+    "Executor",
+    "QueryResult",
+    "EvaluationResult",
+    "evaluate_estimator",
+    "Optimizer",
+    "JoinSpec",
+    "Plan",
+    "plan_regret",
+]

@@ -1,0 +1,108 @@
+"""Catalog of tables and their statistics synopses.
+
+The :class:`Catalog` plays the role the system catalog plays in a DBMS: it
+owns the tables, remembers which synopsis (estimator) is attached to which
+table, and serves selectivity estimates to the executor and the optimizer.
+Attaching an estimator fits it immediately; estimates for tables without a
+synopsis fall back to the exact answer (a full scan), which is what a test
+harness wants when the synopsis under study only covers some tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.errors import CatalogError
+from repro.core.estimator import SelectivityEstimator
+from repro.engine.table import Table
+from repro.workload.queries import RangeQuery
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Registry of tables and per-table statistics synopses."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._estimators: dict[str, SelectivityEstimator] = {}
+
+    # -- tables -----------------------------------------------------------
+    def add_table(self, table: Table) -> None:
+        """Register a table (replacing any previous table of the same name)."""
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        """Names of all registered tables."""
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    # -- statistics -----------------------------------------------------------
+    def attach_estimator(
+        self,
+        table_name: str,
+        estimator: SelectivityEstimator,
+        columns: Sequence[str] | None = None,
+    ) -> SelectivityEstimator:
+        """Fit ``estimator`` on the named table and attach it as its synopsis."""
+        table = self.table(table_name)
+        estimator.fit(table, columns)
+        self._estimators[table_name] = estimator
+        return estimator
+
+    def estimator(self, table_name: str) -> SelectivityEstimator | None:
+        """The synopsis attached to ``table_name``, if any."""
+        self.table(table_name)
+        return self._estimators.get(table_name)
+
+    def detach_estimator(self, table_name: str) -> None:
+        """Remove the synopsis of a table (estimates fall back to exact scans)."""
+        self._estimators.pop(table_name, None)
+
+    # -- estimation -----------------------------------------------------------
+    def estimate_selectivity(self, table_name: str, query: RangeQuery) -> float:
+        """Selectivity estimate from the attached synopsis (exact if none)."""
+        table = self.table(table_name)
+        estimator = self._estimators.get(table_name)
+        if estimator is None:
+            return table.true_selectivity(query)
+        return estimator.estimate(query)
+
+    def estimate_cardinality(self, table_name: str, query: RangeQuery) -> float:
+        """Cardinality estimate: selectivity times the table's true row count."""
+        table = self.table(table_name)
+        return self.estimate_selectivity(table_name, query) * table.row_count
+
+    def true_selectivity(self, table_name: str, query: RangeQuery) -> float:
+        """Exact selectivity (full scan) for evaluation purposes."""
+        return self.table(table_name).true_selectivity(query)
+
+    def refresh(self, table_name: str) -> None:
+        """Refit the attached synopsis after the table changed (bulk rebuild)."""
+        estimator = self._estimators.get(table_name)
+        if estimator is not None:
+            estimator.fit(self.table(table_name), list(estimator.columns) or None)
+
+    def describe(self) -> Mapping[str, dict]:
+        """Structured description of every table and its synopsis."""
+        result = {}
+        for name, table in sorted(self._tables.items()):
+            estimator = self._estimators.get(name)
+            result[name] = {
+                "rows": table.row_count,
+                "columns": list(table.column_names),
+                "estimator": estimator.describe() if estimator else None,
+            }
+        return result

@@ -1,0 +1,140 @@
+"""Query executor: ground truth, feedback loop and workload evaluation.
+
+The executor runs range queries against the exact tables, which gives the
+ground-truth cardinalities every experiment compares against.  It also closes
+the *feedback loop*: after executing a query it can hand the observed true
+selectivity back to a feedback-capable synopsis, exactly the way a DBMS with
+"learning optimizer" machinery would.
+
+:func:`evaluate_estimator` is the workhorse of the benchmark harness: given a
+table, a fitted estimator and a workload it returns paired vectors of
+estimates and truths, plus timing, from which the metrics module computes the
+numbers printed in the tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.estimator import FeedbackEstimator, SelectivityEstimator
+from repro.engine.table import Table
+from repro.metrics.errors import ErrorSummary, evaluate_estimates
+from repro.workload.queries import RangeQuery
+
+__all__ = ["QueryResult", "EvaluationResult", "Executor", "evaluate_estimator"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of executing one query against the exact table."""
+
+    query: RangeQuery
+    true_count: int
+    true_fraction: float
+    table_rows: int
+    estimated_fraction: float | None = None
+
+    @property
+    def estimated_count(self) -> float | None:
+        """Estimated cardinality, if an estimate was recorded."""
+        if self.estimated_fraction is None:
+            return None
+        return self.estimated_fraction * self.table_rows
+
+
+@dataclass
+class EvaluationResult:
+    """Paired estimates and truths for a whole workload, plus timing."""
+
+    estimator_name: str
+    estimates: np.ndarray
+    truths: np.ndarray
+    estimate_seconds: float
+    memory_bytes: int
+    queries: list[RangeQuery] = field(default_factory=list)
+
+    @property
+    def query_count(self) -> int:
+        """Number of queries evaluated."""
+        return int(self.truths.size)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Estimation throughput."""
+        if self.estimate_seconds <= 0:
+            return float("inf")
+        return self.query_count / self.estimate_seconds
+
+    def summaries(self, floor: float = 1e-4) -> dict[str, ErrorSummary]:
+        """Absolute / relative / q-error summaries of the workload."""
+        return dict(evaluate_estimates(self.estimates, self.truths, floor))
+
+    def mean_relative_error(self, floor: float = 1e-4) -> float:
+        """Mean relative error (the headline number of the accuracy tables)."""
+        return self.summaries(floor)["relative"].mean
+
+    def mean_q_error(self, floor: float = 1e-4) -> float:
+        """Mean q-error."""
+        return self.summaries(floor)["q"].mean
+
+
+class Executor:
+    """Runs queries exactly and optionally feeds results back to a synopsis."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self.executed = 0
+
+    def execute(self, query: RangeQuery, estimator: SelectivityEstimator | None = None) -> QueryResult:
+        """Execute one query exactly; record the synopsis estimate if given."""
+        estimate = estimator.estimate(query) if estimator is not None else None
+        count = self.table.true_count(query)
+        fraction = count / self.table.row_count if self.table.row_count else 0.0
+        self.executed += 1
+        return QueryResult(query, count, fraction, self.table.row_count, estimate)
+
+    def execute_with_feedback(self, query: RangeQuery, estimator: FeedbackEstimator) -> QueryResult:
+        """Execute a query and immediately feed the truth back to the synopsis."""
+        result = self.execute(query, estimator)
+        estimator.feedback(query, result.true_fraction)
+        return result
+
+    def run_workload(
+        self,
+        queries: Sequence[RangeQuery],
+        estimator: SelectivityEstimator | None = None,
+        feedback: bool = False,
+    ) -> list[QueryResult]:
+        """Execute a workload in order, optionally with the feedback loop closed."""
+        results = []
+        for query in queries:
+            if feedback and isinstance(estimator, FeedbackEstimator):
+                results.append(self.execute_with_feedback(query, estimator))
+            else:
+                results.append(self.execute(query, estimator))
+        return results
+
+
+def evaluate_estimator(
+    table: Table,
+    estimator: SelectivityEstimator,
+    queries: Sequence[RangeQuery],
+    name: str | None = None,
+) -> EvaluationResult:
+    """Evaluate a fitted estimator on a workload against exact answers."""
+    truths = np.array([table.true_selectivity(q) for q in queries], dtype=float)
+    start = time.perf_counter()
+    estimates = np.array([estimator.estimate(q) for q in queries], dtype=float)
+    elapsed = time.perf_counter() - start
+    return EvaluationResult(
+        estimator_name=name or estimator.name,
+        estimates=estimates,
+        truths=truths,
+        estimate_seconds=elapsed,
+        memory_bytes=estimator.memory_bytes(),
+        queries=list(queries),
+    )

@@ -1,0 +1,236 @@
+"""In-memory column-oriented table.
+
+The execution engine substrate: a minimal column store that holds numeric
+attributes as numpy arrays, supports appends (for streaming experiments),
+row filtering by :class:`~repro.workload.queries.RangeQuery`, and exact
+selectivity computation.  Estimators are always evaluated against the exact
+answers produced here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import CatalogError, DimensionMismatchError, InvalidParameterError
+from repro.workload.queries import RangeQuery
+
+__all__ = ["ColumnStats", "Table"]
+
+
+class ColumnStats:
+    """Summary statistics of a single numeric column.
+
+    These are the statistics a catalog would keep for every column: min, max,
+    mean, standard deviation, row count and an approximate distinct count.
+    """
+
+    __slots__ = ("name", "count", "minimum", "maximum", "mean", "std", "distinct")
+
+    def __init__(self, name: str, values: np.ndarray):
+        values = np.asarray(values, dtype=float)
+        self.name = name
+        self.count = int(values.size)
+        if values.size == 0:
+            self.minimum = float("nan")
+            self.maximum = float("nan")
+            self.mean = float("nan")
+            self.std = float("nan")
+            self.distinct = 0
+        else:
+            self.minimum = float(np.min(values))
+            self.maximum = float(np.max(values))
+            self.mean = float(np.mean(values))
+            self.std = float(np.std(values))
+            self.distinct = int(np.unique(values).size)
+
+    @property
+    def width(self) -> float:
+        """Domain width ``max - min`` (0.0 for empty/constant columns)."""
+        if self.count == 0:
+            return 0.0
+        return self.maximum - self.minimum
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnStats({self.name!r}, n={self.count}, min={self.minimum:g}, "
+            f"max={self.maximum:g}, distinct={self.distinct})"
+        )
+
+
+class Table:
+    """A named, append-only, column-oriented table of numeric attributes.
+
+    Parameters
+    ----------
+    name:
+        Table name used by the catalog and the optimizer.
+    columns:
+        Mapping from column name to a 1-D array-like of float values.  All
+        columns must have equal length.
+
+    Notes
+    -----
+    The table is deliberately simple: numeric columns only, no indexes, no
+    deletes.  That is all the selectivity-estimation experiments need, and
+    exact answers are computed by full scans (`true_count`).
+    """
+
+    def __init__(self, name: str, columns: Mapping[str, Sequence[float] | np.ndarray]):
+        if not columns:
+            raise InvalidParameterError("a table needs at least one column")
+        self.name = name
+        self._columns: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for column_name, values in columns.items():
+            array = np.asarray(values, dtype=float).ravel()
+            if length is None:
+                length = array.size
+            elif array.size != length:
+                raise InvalidParameterError(
+                    f"column {column_name!r} has {array.size} rows, expected {length}"
+                )
+            self._columns[column_name] = array
+        self._row_count = int(length or 0)
+
+    # -- construction helpers ----------------------------------------------
+    @classmethod
+    def from_array(
+        cls, name: str, data: np.ndarray, column_names: Sequence[str] | None = None
+    ) -> "Table":
+        """Build a table from a 2-D array of shape ``(rows, attributes)``."""
+        data = np.atleast_2d(np.asarray(data, dtype=float))
+        if data.ndim != 2:
+            raise InvalidParameterError("data must be a 2-D array of shape (rows, attributes)")
+        if column_names is None:
+            column_names = [f"x{i}" for i in range(data.shape[1])]
+        if len(column_names) != data.shape[1]:
+            raise InvalidParameterError(
+                f"{len(column_names)} column names for {data.shape[1]} attributes"
+            )
+        return cls(name, {c: data[:, i] for i, c in enumerate(column_names)})
+
+    # -- basic accessors -----------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        """Number of rows currently in the table."""
+        return self._row_count
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names in insertion order."""
+        return tuple(self._columns)
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._columns
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the (read-only view of the) values of a column."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise CatalogError(f"table {self.name!r} has no column {name!r}") from None
+
+    def columns(self, names: Sequence[str]) -> np.ndarray:
+        """Return a ``(rows, len(names))`` matrix of the requested columns."""
+        arrays = [self.column(n) for n in names]
+        if not arrays:
+            return np.empty((self._row_count, 0))
+        return np.column_stack(arrays)
+
+    def as_matrix(self) -> np.ndarray:
+        """Return all columns as a ``(rows, attributes)`` matrix."""
+        return self.columns(self.column_names)
+
+    def stats(self, column: str) -> ColumnStats:
+        """Compute :class:`ColumnStats` for one column."""
+        return ColumnStats(column, self.column(column))
+
+    def domain(self, columns: Sequence[str] | None = None) -> dict[str, tuple[float, float]]:
+        """Return ``{column: (min, max)}`` for the requested columns."""
+        names = list(columns) if columns is not None else list(self.column_names)
+        result: dict[str, tuple[float, float]] = {}
+        for name in names:
+            values = self.column(name)
+            if values.size == 0:
+                result[name] = (0.0, 0.0)
+            else:
+                result[name] = (float(values.min()), float(values.max()))
+        return result
+
+    # -- mutation -------------------------------------------------------------
+    def append_rows(self, rows: Mapping[str, Sequence[float] | np.ndarray]) -> int:
+        """Append a batch of rows given as ``{column: values}``.
+
+        Every existing column must be present in ``rows``.  Returns the number
+        of rows appended.
+        """
+        missing = set(self._columns) - set(rows)
+        if missing:
+            raise DimensionMismatchError(f"append is missing columns: {sorted(missing)}")
+        arrays = {name: np.asarray(rows[name], dtype=float).ravel() for name in self._columns}
+        sizes = {a.size for a in arrays.values()}
+        if len(sizes) != 1:
+            raise DimensionMismatchError("all appended columns must have the same length")
+        added = sizes.pop()
+        for name, values in arrays.items():
+            self._columns[name] = np.concatenate([self._columns[name], values])
+        self._row_count += int(added)
+        return int(added)
+
+    def append_matrix(self, data: np.ndarray, column_names: Sequence[str] | None = None) -> int:
+        """Append rows given as a ``(rows, attributes)`` matrix."""
+        data = np.atleast_2d(np.asarray(data, dtype=float))
+        names = list(column_names) if column_names is not None else list(self.column_names)
+        if data.shape[1] != len(names):
+            raise DimensionMismatchError(
+                f"matrix has {data.shape[1]} columns but {len(names)} names were given"
+            )
+        return self.append_rows({name: data[:, i] for i, name in enumerate(names)})
+
+    # -- exact query evaluation -----------------------------------------------
+    def selection_mask(self, query: RangeQuery) -> np.ndarray:
+        """Boolean mask of rows satisfying ``query`` (full scan)."""
+        mask = np.ones(self._row_count, dtype=bool)
+        for attribute in query.attributes:
+            interval = query[attribute]
+            values = self.column(attribute)
+            mask &= (values >= interval.low) & (values <= interval.high)
+        return mask
+
+    def true_count(self, query: RangeQuery) -> int:
+        """Exact number of rows satisfying ``query``."""
+        return int(np.count_nonzero(self.selection_mask(query)))
+
+    def true_selectivity(self, query: RangeQuery) -> float:
+        """Exact fraction of rows satisfying ``query`` (0.0 for empty tables)."""
+        if self._row_count == 0:
+            return 0.0
+        return self.true_count(query) / self._row_count
+
+    def select(self, query: RangeQuery) -> "Table":
+        """Return a new table containing only the rows matching ``query``."""
+        mask = self.selection_mask(query)
+        return Table(self.name, {name: values[mask] for name, values in self._columns.items()})
+
+    def sample(self, size: int, rng: np.random.Generator | None = None) -> "Table":
+        """Return a uniform random sample (without replacement) of ``size`` rows."""
+        rng = rng or np.random.default_rng()
+        if size >= self._row_count:
+            return Table(self.name, dict(self._columns))
+        index = rng.choice(self._row_count, size=size, replace=False)
+        return Table(self.name, {name: values[index] for name, values in self._columns.items()})
+
+    def iter_rows(self, columns: Sequence[str] | None = None) -> Iterator[tuple[float, ...]]:
+        """Iterate rows as tuples over the requested columns."""
+        names = list(columns) if columns is not None else list(self.column_names)
+        matrix = self.columns(names)
+        for row in matrix:
+            yield tuple(float(v) for v in row)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={self._row_count}, columns={list(self._columns)})"

@@ -1,0 +1,47 @@
+"""Experiment harness: one callable per table and figure of the evaluation."""
+
+from repro.experiments.runner import (
+    EstimatorSpec,
+    SeriesResult,
+    TableResult,
+    fit_timed,
+    run_accuracy_comparison,
+)
+from repro.experiments.suite import (
+    EXPERIMENTS,
+    fig1_budget_sweep,
+    fig2_dimensionality,
+    fig3_query_volume,
+    fig4_skew,
+    fig5_drift,
+    fig6_feedback,
+    fig7_bandwidth_ablation,
+    fig8_optimizer_impact,
+    run_experiment,
+    table1_accuracy_1d,
+    table2_accuracy_multid,
+    table3_cost,
+    table4_stream_cost,
+)
+
+__all__ = [
+    "EstimatorSpec",
+    "TableResult",
+    "SeriesResult",
+    "fit_timed",
+    "run_accuracy_comparison",
+    "EXPERIMENTS",
+    "run_experiment",
+    "table1_accuracy_1d",
+    "table2_accuracy_multid",
+    "table3_cost",
+    "table4_stream_cost",
+    "fig1_budget_sweep",
+    "fig2_dimensionality",
+    "fig3_query_volume",
+    "fig4_skew",
+    "fig5_drift",
+    "fig6_feedback",
+    "fig7_bandwidth_ablation",
+    "fig8_optimizer_impact",
+]

@@ -1,0 +1,83 @@
+"""Command-line entry point for the experiment suite.
+
+Run one experiment (or all of them) from the shell::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig5 --batches 60 --batch_size 500
+    python -m repro.experiments all
+
+Unknown ``--name value`` pairs are forwarded to the experiment function as
+keyword arguments; values are parsed as int, then float, then left as strings,
+and comma-separated values become tuples (e.g. ``--budgets 1024,4096``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.suite import EXPERIMENTS, run_experiment
+
+
+def _parse_scalar(text: str) -> object:
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_value(text: str) -> object:
+    if "," in text:
+        return tuple(_parse_scalar(part) for part in text.split(",") if part)
+    return _parse_scalar(text)
+
+
+def _parse_overrides(pairs: Sequence[str]) -> dict[str, object]:
+    overrides: dict[str, object] = {}
+    key: str | None = None
+    for token in pairs:
+        if token.startswith("--"):
+            if key is not None:
+                raise SystemExit(f"missing value for --{key}")
+            key = token[2:]
+        else:
+            if key is None:
+                raise SystemExit(f"unexpected argument {token!r}")
+            overrides[key] = _parse_value(token)
+            key = None
+    if key is not None:
+        raise SystemExit(f"missing value for --{key}")
+    return overrides
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate one table/figure of the evaluation (or 'all').",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (table1..table4, fig1..fig8) or 'all'",
+    )
+    parser.add_argument(
+        "overrides",
+        nargs=argparse.REMAINDER,
+        help="optional --parameter value overrides forwarded to the experiment",
+    )
+    args = parser.parse_args(argv)
+    overrides = _parse_overrides(args.overrides)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = run_experiment(name, **(overrides if args.experiment != "all" else {}))
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the shell
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Shared experiment machinery.
+
+Every experiment in :mod:`repro.experiments.suite` is a composition of the
+same few steps: build a dataset, build a workload, fit a set of estimators,
+evaluate them against exact answers, and aggregate errors.  This module holds
+those steps so each experiment reads as configuration plus a loop.
+
+Results are returned as :class:`TableResult` / :class:`SeriesResult`, plain
+data structures that the benchmark harness renders with
+:func:`repro.metrics.report.render_table` / ``render_series`` and that tests
+can assert against directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.estimator import SelectivityEstimator
+from repro.engine.executor import EvaluationResult, evaluate_estimator
+from repro.engine.table import Table
+from repro.metrics.report import render_series, render_table
+from repro.workload.queries import RangeQuery
+
+__all__ = [
+    "EstimatorSpec",
+    "TableResult",
+    "SeriesResult",
+    "fit_timed",
+    "run_accuracy_comparison",
+]
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """A named estimator configuration used by an experiment.
+
+    ``factory`` builds a fresh, unfitted estimator; experiments never reuse a
+    fitted estimator across datasets.
+    """
+
+    label: str
+    factory: Callable[[], SelectivityEstimator]
+
+    def build(self) -> SelectivityEstimator:
+        """Instantiate a fresh estimator."""
+        return self.factory()
+
+
+@dataclass
+class TableResult:
+    """A table of the evaluation: headers plus one row per configuration."""
+
+    experiment: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: str = ""
+
+    def render(self, precision: int = 4) -> str:
+        """Plain-text rendering of the table."""
+        text = render_table(self.headers, self.rows, title=self.experiment, precision=precision)
+        if self.notes:
+            text += f"\n\n{self.notes}"
+        return text
+
+    def column(self, name: str) -> list[object]:
+        """Values of one column by header name."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def row_by(self, key_column: str, key_value: object) -> list[object] | None:
+        """First row whose ``key_column`` equals ``key_value``."""
+        index = self.headers.index(key_column)
+        for row in self.rows:
+            if row[index] == key_value:
+                return list(row)
+        return None
+
+
+@dataclass
+class SeriesResult:
+    """A figure of the evaluation: x values plus one named series per line."""
+
+    experiment: str
+    x_label: str
+    x_values: list[object]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self, precision: int = 4) -> str:
+        """Plain-text rendering of the figure data."""
+        text = render_series(
+            self.x_label, self.x_values, self.series, title=self.experiment, precision=precision
+        )
+        if self.notes:
+            text += f"\n\n{self.notes}"
+        return text
+
+    def add_point(self, series_name: str, value: float) -> None:
+        """Append one y value to a named series (created on first use)."""
+        self.series.setdefault(series_name, []).append(float(value))
+
+
+def fit_timed(estimator: SelectivityEstimator, table: Table) -> float:
+    """Fit an estimator and return the wall-clock build time in seconds."""
+    start = time.perf_counter()
+    estimator.fit(table)
+    return time.perf_counter() - start
+
+
+def run_accuracy_comparison(
+    table: Table,
+    specs: Sequence[EstimatorSpec],
+    queries: Sequence[RangeQuery],
+    floor: float = 1e-4,
+) -> Mapping[str, EvaluationResult]:
+    """Fit every spec on ``table`` and evaluate it on ``queries``.
+
+    Returns a mapping from spec label to its :class:`EvaluationResult`; the
+    caller extracts whichever error statistics the experiment reports.
+    """
+    results: dict[str, EvaluationResult] = {}
+    for spec in specs:
+        estimator = spec.build()
+        estimator.fit(table)
+        results[spec.label] = evaluate_estimator(table, estimator, queries, name=spec.label)
+    return results
+
+
+def true_selectivities(table: Table, queries: Sequence[RangeQuery]) -> np.ndarray:
+    """Exact selectivity of every query (convenience wrapper)."""
+    return np.array([table.true_selectivity(q) for q in queries], dtype=float)

@@ -1,0 +1,25 @@
+"""Error metrics and plain-text table/figure rendering."""
+
+from repro.metrics.errors import (
+    ErrorSummary,
+    absolute_errors,
+    evaluate_estimates,
+    integrated_squared_error,
+    q_errors,
+    relative_errors,
+    summarize_errors,
+)
+from repro.metrics.report import format_number, render_series, render_table
+
+__all__ = [
+    "ErrorSummary",
+    "absolute_errors",
+    "relative_errors",
+    "q_errors",
+    "integrated_squared_error",
+    "summarize_errors",
+    "evaluate_estimates",
+    "render_table",
+    "render_series",
+    "format_number",
+]

@@ -1,0 +1,152 @@
+"""Error metrics for selectivity estimates and density models.
+
+The evaluation reports the metrics standard in the selectivity-estimation
+literature:
+
+* **absolute error** ``|est - true|`` (in selectivity units),
+* **relative error** ``|est - true| / max(true, floor)`` with a cardinality
+  floor so empty-result queries do not produce infinite errors,
+* **q-error** ``max(est, true, floor) / min(est, true, floor)`` — the
+  multiplicative error the optimizer actually cares about,
+* **MISE / ISE** between density functions on a grid, used by the bandwidth
+  ablation where the true generating density is known.
+
+:class:`ErrorSummary` aggregates a vector of per-query errors into the
+statistics printed in the tables (mean/median/percentiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = [
+    "absolute_errors",
+    "relative_errors",
+    "q_errors",
+    "integrated_squared_error",
+    "ErrorSummary",
+    "summarize_errors",
+    "evaluate_estimates",
+]
+
+#: Selectivity floor used when normalising errors of empty-result queries.
+DEFAULT_FLOOR = 1e-4
+
+
+def _validate(estimates: np.ndarray, truths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    estimates = np.asarray(estimates, dtype=float).ravel()
+    truths = np.asarray(truths, dtype=float).ravel()
+    if estimates.size != truths.size:
+        raise InvalidParameterError(
+            f"estimates ({estimates.size}) and truths ({truths.size}) differ in length"
+        )
+    return estimates, truths
+
+
+def absolute_errors(estimates: np.ndarray, truths: np.ndarray) -> np.ndarray:
+    """Element-wise absolute error ``|est - true|``."""
+    estimates, truths = _validate(estimates, truths)
+    return np.abs(estimates - truths)
+
+
+def relative_errors(
+    estimates: np.ndarray, truths: np.ndarray, floor: float = DEFAULT_FLOOR
+) -> np.ndarray:
+    """Element-wise relative error with a floor on the denominator."""
+    if floor <= 0:
+        raise InvalidParameterError("floor must be positive")
+    estimates, truths = _validate(estimates, truths)
+    return np.abs(estimates - truths) / np.maximum(truths, floor)
+
+
+def q_errors(estimates: np.ndarray, truths: np.ndarray, floor: float = DEFAULT_FLOOR) -> np.ndarray:
+    """Element-wise q-error ``max(e, t) / min(e, t)`` with flooring (≥ 1)."""
+    if floor <= 0:
+        raise InvalidParameterError("floor must be positive")
+    estimates, truths = _validate(estimates, truths)
+    est = np.maximum(estimates, floor)
+    tru = np.maximum(truths, floor)
+    return np.maximum(est, tru) / np.minimum(est, tru)
+
+
+def integrated_squared_error(
+    estimated_density: np.ndarray, true_density: np.ndarray, grid_step: float
+) -> float:
+    """Integrated squared error between two densities sampled on a uniform grid."""
+    if grid_step <= 0:
+        raise InvalidParameterError("grid_step must be positive")
+    estimated_density = np.asarray(estimated_density, dtype=float)
+    true_density = np.asarray(true_density, dtype=float)
+    if estimated_density.shape != true_density.shape:
+        raise InvalidParameterError("density arrays must have the same shape")
+    return float(np.sum((estimated_density - true_density) ** 2) * grid_step)
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Aggregate statistics of a vector of per-query errors."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view used by the report renderers."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p90": self.p90,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.4f} median={self.median:.4f} "
+            f"p95={self.p95:.4f} max={self.maximum:.4f} (n={self.count})"
+        )
+
+
+def summarize_errors(errors: Iterable[float]) -> ErrorSummary:
+    """Summarise a vector of per-query errors."""
+    values = np.asarray(list(errors), dtype=float)
+    if values.size == 0:
+        return ErrorSummary(0, float("nan"), float("nan"), float("nan"), float("nan"), float("nan"), float("nan"))
+    return ErrorSummary(
+        count=int(values.size),
+        mean=float(np.mean(values)),
+        median=float(np.median(values)),
+        p90=float(np.percentile(values, 90)),
+        p95=float(np.percentile(values, 95)),
+        p99=float(np.percentile(values, 99)),
+        maximum=float(np.max(values)),
+    )
+
+
+def evaluate_estimates(
+    estimates: Sequence[float] | np.ndarray,
+    truths: Sequence[float] | np.ndarray,
+    floor: float = DEFAULT_FLOOR,
+) -> Mapping[str, ErrorSummary]:
+    """Compute all three error summaries for a batch of queries.
+
+    Returns a mapping with keys ``"absolute"``, ``"relative"`` and ``"q"``.
+    """
+    estimates = np.asarray(estimates, dtype=float)
+    truths = np.asarray(truths, dtype=float)
+    return {
+        "absolute": summarize_errors(absolute_errors(estimates, truths)),
+        "relative": summarize_errors(relative_errors(estimates, truths, floor)),
+        "q": summarize_errors(q_errors(estimates, truths, floor)),
+    }

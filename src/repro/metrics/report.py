@@ -1,0 +1,74 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The benchmark harness regenerates every table and figure of the evaluation as
+text: tables are fixed-width column layouts, figures are printed as the
+underlying data series (x values and one column per estimator), which is what
+a plotting script would consume.  Keeping rendering here means the experiment
+code returns plain data structures and stays testable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "format_number"]
+
+
+def format_number(value: object, precision: int = 4) -> str:
+    """Format a cell value: floats get fixed precision, the rest ``str()``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e6 or (abs(value) < 1e-4 and value != 0.0):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a fixed-width text table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ------
+    1  2.5000
+    """
+    formatted_rows = [[format_number(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in formatted_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a figure as its data series: one row per x value, one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for index, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(values[index] if index < len(values) else float("nan"))
+        rows.append(row)
+    return render_table(headers, rows, title=title, precision=precision)

@@ -1,0 +1,6 @@
+"""Stream substrate: reservoir samplers and sliding windows."""
+
+from repro.stream.reservoir import DecayedReservoirSampler, ReservoirSampler
+from repro.stream.windows import SlidingWindow
+
+__all__ = ["ReservoirSampler", "DecayedReservoirSampler", "SlidingWindow"]

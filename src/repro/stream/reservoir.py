@@ -1,0 +1,113 @@
+"""Reservoir sampling over insert streams.
+
+Two samplers are provided:
+
+* :class:`ReservoirSampler` — classical Vitter Algorithm R: a uniform sample
+  of everything seen so far, with O(1) expected work per insert.
+* :class:`DecayedReservoirSampler` — a biased reservoir in the spirit of
+  Aggarwal's biased reservoir sampling: newer tuples are exponentially more
+  likely to survive, so the sample tracks the *recent* distribution and the
+  downstream estimator adapts to concept drift.
+
+Both operate on fixed-width numeric rows (numpy arrays) because that is what
+the table engine and the estimators exchange.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["ReservoirSampler", "DecayedReservoirSampler"]
+
+
+class ReservoirSampler:
+    """Uniform reservoir sample (Vitter's Algorithm R) of a row stream.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of rows retained.
+    dimensions:
+        Number of attributes per row.
+    seed:
+        Seed of the replacement generator (reproducibility).
+    """
+
+    def __init__(self, capacity: int, dimensions: int, seed: int | None = 0) -> None:
+        if capacity < 1:
+            raise InvalidParameterError("reservoir capacity must be positive")
+        if dimensions < 1:
+            raise InvalidParameterError("dimensions must be positive")
+        self.capacity = int(capacity)
+        self.dimensions = int(dimensions)
+        self._rng = np.random.default_rng(seed)
+        self._rows = np.empty((capacity, dimensions))
+        self._size = 0
+        self._seen = 0
+
+    @property
+    def size(self) -> int:
+        """Number of rows currently in the reservoir."""
+        return self._size
+
+    @property
+    def seen(self) -> int:
+        """Total number of rows offered to the reservoir."""
+        return self._seen
+
+    def insert(self, rows: np.ndarray) -> None:
+        """Offer a batch of rows (``(batch, dimensions)``) to the reservoir."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        if rows.shape[1] != self.dimensions:
+            raise InvalidParameterError(
+                f"expected rows with {self.dimensions} attributes, got {rows.shape[1]}"
+            )
+        for row in rows:
+            self._seen += 1
+            if self._size < self.capacity:
+                self._rows[self._size] = row
+                self._size += 1
+            else:
+                slot = int(self._rng.integers(0, self._seen))
+                if slot < self.capacity:
+                    self._rows[slot] = row
+
+    def sample(self) -> np.ndarray:
+        """Return a copy of the current reservoir contents."""
+        return self._rows[: self._size].copy()
+
+    def reset(self) -> None:
+        """Empty the reservoir and forget the stream position."""
+        self._size = 0
+        self._seen = 0
+
+
+class DecayedReservoirSampler(ReservoirSampler):
+    """Biased reservoir sample favouring recent rows.
+
+    Each incoming row replaces a random slot with probability
+    ``size / capacity`` (and always fills an empty slot), which yields an
+    exponentially-biased sample whose expected age is ``O(capacity)`` rows —
+    the standard biased-reservoir construction for evolving streams.
+    """
+
+    def insert(self, rows: np.ndarray) -> None:
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        if rows.shape[1] != self.dimensions:
+            raise InvalidParameterError(
+                f"expected rows with {self.dimensions} attributes, got {rows.shape[1]}"
+            )
+        for row in rows:
+            self._seen += 1
+            if self._size < self.capacity:
+                self._rows[self._size] = row
+                self._size += 1
+                continue
+            # Full reservoir: the new row always replaces a random victim,
+            # which yields an exponentially age-biased sample with expected
+            # retention of O(capacity) rows (Aggarwal's biased reservoir in
+            # the saturated regime).
+            victim = int(self._rng.integers(0, self.capacity))
+            self._rows[victim] = row

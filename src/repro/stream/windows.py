@@ -1,0 +1,69 @@
+"""Sliding windows over row streams.
+
+:class:`SlidingWindow` keeps the last ``capacity`` rows of a stream in a ring
+buffer.  It is used by the drift experiments to build "rebuild from recent
+window" baselines against which the decayed streaming estimator is compared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["SlidingWindow"]
+
+
+class SlidingWindow:
+    """Fixed-capacity ring buffer of the most recent rows of a stream."""
+
+    def __init__(self, capacity: int, dimensions: int) -> None:
+        if capacity < 1:
+            raise InvalidParameterError("window capacity must be positive")
+        if dimensions < 1:
+            raise InvalidParameterError("dimensions must be positive")
+        self.capacity = int(capacity)
+        self.dimensions = int(dimensions)
+        self._rows = np.empty((capacity, dimensions))
+        self._next = 0
+        self._size = 0
+        self._seen = 0
+
+    @property
+    def size(self) -> int:
+        """Number of rows currently held (≤ capacity)."""
+        return self._size
+
+    @property
+    def seen(self) -> int:
+        """Total number of rows pushed through the window."""
+        return self._seen
+
+    @property
+    def is_full(self) -> bool:
+        """True when the window holds ``capacity`` rows."""
+        return self._size == self.capacity
+
+    def insert(self, rows: np.ndarray) -> None:
+        """Push a batch of rows, evicting the oldest rows beyond capacity."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        if rows.shape[1] != self.dimensions:
+            raise InvalidParameterError(
+                f"expected rows with {self.dimensions} attributes, got {rows.shape[1]}"
+            )
+        for row in rows:
+            self._rows[self._next] = row
+            self._next = (self._next + 1) % self.capacity
+            self._size = min(self._size + 1, self.capacity)
+            self._seen += 1
+
+    def contents(self) -> np.ndarray:
+        """Rows currently in the window, oldest first."""
+        if self._size < self.capacity:
+            return self._rows[: self._size].copy()
+        return np.vstack([self._rows[self._next :], self._rows[: self._next]])
+
+    def clear(self) -> None:
+        """Drop all buffered rows (stream position is preserved)."""
+        self._next = 0
+        self._size = 0

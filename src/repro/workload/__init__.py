@@ -1,0 +1,21 @@
+"""Query model and workload generators."""
+
+from repro.workload.generators import (
+    DataCenteredWorkload,
+    SkewedWorkload,
+    UniformWorkload,
+    WorkloadGenerator,
+    generate_workload,
+)
+from repro.workload.queries import Interval, QueryRegion, RangeQuery
+
+__all__ = [
+    "Interval",
+    "RangeQuery",
+    "QueryRegion",
+    "WorkloadGenerator",
+    "UniformWorkload",
+    "DataCenteredWorkload",
+    "SkewedWorkload",
+    "generate_workload",
+]

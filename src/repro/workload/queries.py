@@ -1,0 +1,259 @@
+"""Query model for selectivity estimation.
+
+Selectivity estimation work is expressed over *conjunctive range predicates*:
+a query constrains a subset of numeric attributes, each to a closed interval
+``[low, high]``.  Point predicates are intervals with ``low == high`` and
+one-sided predicates use ``-inf`` / ``+inf`` bounds.  This is the canonical
+query class used by histogram, sampling, wavelet and kernel-based estimators.
+
+The central type is :class:`RangeQuery`.  It is immutable, hashable and keeps
+its constraints in a normalised, sorted form so that two queries expressing
+the same predicate compare equal regardless of construction order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidQueryError
+
+__all__ = ["Interval", "RangeQuery", "QueryRegion"]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed numeric interval ``[low, high]``.
+
+    ``low`` may be ``-inf`` and ``high`` may be ``+inf`` to express one-sided
+    predicates such as ``x <= 10``.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        low = float(self.low)
+        high = float(self.high)
+        if math.isnan(low) or math.isnan(high):
+            raise InvalidQueryError("interval bounds must not be NaN")
+        if low > high:
+            raise InvalidQueryError(f"interval lower bound {low} exceeds upper bound {high}")
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+
+    @property
+    def width(self) -> float:
+        """Length of the interval (may be ``inf`` for one-sided intervals)."""
+        return self.high - self.low
+
+    @property
+    def is_point(self) -> bool:
+        """True when the interval contains a single value."""
+        return self.low == self.high
+
+    @property
+    def is_bounded(self) -> bool:
+        """True when both endpoints are finite."""
+        return math.isfinite(self.low) and math.isfinite(self.high)
+
+    def contains(self, value: float) -> bool:
+        """Return whether ``value`` lies inside the closed interval."""
+        return self.low <= value <= self.high
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Return the intersection with ``other`` or ``None`` if disjoint."""
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        if low > high:
+            return None
+        return Interval(low, high)
+
+    def clip(self, low: float, high: float) -> "Interval":
+        """Clip the interval to ``[low, high]``; empty results collapse to a point at ``low``."""
+        new_low = min(max(self.low, low), high)
+        new_high = max(min(self.high, high), low)
+        if new_low > new_high:
+            new_low = new_high
+        return Interval(new_low, new_high)
+
+    def overlap_fraction(self, low: float, high: float) -> float:
+        """Fraction of ``[low, high]`` covered by this interval.
+
+        Used by histogram estimators under the uniform-spread assumption.
+        Returns 0.0 when ``[low, high]`` is degenerate and not contained.
+        """
+        if high <= low:
+            return 1.0 if self.contains(low) else 0.0
+        covered = min(self.high, high) - max(self.low, low)
+        if covered <= 0:
+            return 0.0
+        return covered / (high - low)
+
+
+class RangeQuery(Mapping[str, Interval]):
+    """A conjunctive range predicate over named numeric attributes.
+
+    Parameters
+    ----------
+    constraints:
+        Mapping from attribute name to :class:`Interval` (or a ``(low, high)``
+        pair, which is converted).
+
+    Examples
+    --------
+    >>> q = RangeQuery({"age": (30, 40), "salary": (50_000, math.inf)})
+    >>> q.attributes
+    ('age', 'salary')
+    >>> q["age"].low
+    30.0
+    """
+
+    __slots__ = ("_constraints", "_hash")
+
+    def __init__(self, constraints: Mapping[str, Interval | tuple[float, float]]):
+        if not constraints:
+            raise InvalidQueryError("a RangeQuery needs at least one attribute constraint")
+        normalised: dict[str, Interval] = {}
+        for name in sorted(constraints):
+            value = constraints[name]
+            if isinstance(value, Interval):
+                normalised[name] = value
+            else:
+                low, high = value
+                normalised[name] = Interval(float(low), float(high))
+        self._constraints: dict[str, Interval] = normalised
+        self._hash: int | None = None
+
+    # -- Mapping protocol -------------------------------------------------
+    def __getitem__(self, attribute: str) -> Interval:
+        return self._constraints[attribute]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(tuple(self._constraints.items()))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RangeQuery):
+            return NotImplemented
+        return self._constraints == other._constraints
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}∈[{iv.low:g}, {iv.high:g}]" for name, iv in self._constraints.items()
+        )
+        return f"RangeQuery({parts})"
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Constrained attribute names, in sorted order."""
+        return tuple(self._constraints)
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of constrained attributes."""
+        return len(self._constraints)
+
+    def interval(self, attribute: str) -> Interval:
+        """Return the interval for ``attribute`` (``KeyError`` if unconstrained)."""
+        return self._constraints[attribute]
+
+    def bounds(self, attributes: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(lows, highs)`` arrays aligned with ``attributes``.
+
+        Attributes not constrained by the query get ``(-inf, +inf)``.
+        """
+        lows = np.full(len(attributes), -np.inf)
+        highs = np.full(len(attributes), np.inf)
+        for i, name in enumerate(attributes):
+            interval = self._constraints.get(name)
+            if interval is not None:
+                lows[i] = interval.low
+                highs[i] = interval.high
+        return lows, highs
+
+    def restrict(self, attributes: Iterable[str]) -> "RangeQuery | None":
+        """Project the query onto ``attributes``; ``None`` if nothing remains."""
+        keep = {name: iv for name, iv in self._constraints.items() if name in set(attributes)}
+        if not keep:
+            return None
+        return RangeQuery(keep)
+
+    def volume(self, domain: Mapping[str, tuple[float, float]]) -> float:
+        """Fraction of the (axis-aligned) domain covered by the query box.
+
+        ``domain`` maps attribute name to ``(low, high)`` bounds of the data
+        domain.  Attributes of the domain not constrained by the query
+        contribute a factor of 1.
+        """
+        fraction = 1.0
+        for name, (dlow, dhigh) in domain.items():
+            interval = self._constraints.get(name)
+            if interval is None:
+                continue
+            width = dhigh - dlow
+            if width <= 0:
+                continue
+            clipped = interval.clip(dlow, dhigh)
+            fraction *= clipped.width / width
+        return fraction
+
+    def intersect(self, other: "RangeQuery") -> "RangeQuery | None":
+        """Conjunction of two queries; ``None`` if the result is empty."""
+        merged: dict[str, Interval] = dict(self._constraints)
+        for name, interval in other.items():
+            if name in merged:
+                joint = merged[name].intersect(interval)
+                if joint is None:
+                    return None
+                merged[name] = joint
+            else:
+                merged[name] = interval
+        return RangeQuery(merged)
+
+    def contains_point(self, point: Mapping[str, float]) -> bool:
+        """True when ``point`` (attribute → value) satisfies every constraint."""
+        for name, interval in self._constraints.items():
+            value = point.get(name)
+            if value is None or not interval.contains(float(value)):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class QueryRegion:
+    """A query together with bookkeeping used by feedback-driven estimators.
+
+    Attributes
+    ----------
+    query:
+        The range predicate.
+    true_fraction:
+        Observed true selectivity in ``[0, 1]`` (from executing the query).
+    estimated_fraction:
+        The estimate the synopsis produced at observation time, if recorded.
+    """
+
+    query: RangeQuery
+    true_fraction: float
+    estimated_fraction: float | None = None
+    weight: float = field(default=1.0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.true_fraction <= 1.0:
+            raise InvalidQueryError(
+                f"true_fraction must be in [0, 1], got {self.true_fraction}"
+            )
+        if self.weight <= 0:
+            raise InvalidQueryError("feedback weight must be positive")

@@ -1,0 +1,117 @@
+"""Unit tests for the multi-dimensional grid histogram and the AVI parametric estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.independence import IndependenceEstimator
+from repro.baselines.multidim import GridHistogram
+from repro.core.errors import BudgetError, InvalidParameterError, NotFittedError
+from repro.data.generators import correlated_table, uniform_table
+from repro.engine.table import Table
+from repro.workload.queries import RangeQuery
+
+
+class TestGridHistogram:
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            GridHistogram(cells_per_dim=0)
+        with pytest.raises(BudgetError):
+            GridHistogram(budget_bytes=4)
+
+    def test_unfitted_raises(self) -> None:
+        with pytest.raises(NotFittedError):
+            GridHistogram().estimate(RangeQuery({"x0": (0, 1)}))
+
+    def test_uniform_2d_accuracy(self) -> None:
+        table = uniform_table(30_000, dimensions=2, seed=1)
+        estimator = GridHistogram(cells_per_dim=16).fit(table)
+        query = RangeQuery({"x0": (0.0, 0.5), "x1": (0.25, 0.75)})
+        assert estimator.estimate(query) == pytest.approx(0.25, abs=0.02)
+
+    def test_full_domain_is_one(self, mixture_table_2d: Table) -> None:
+        estimator = GridHistogram(cells_per_dim=8).fit(mixture_table_2d)
+        domain = mixture_table_2d.domain()
+        query = RangeQuery({name: bounds for name, bounds in domain.items()})
+        assert estimator.estimate(query) == pytest.approx(1.0, abs=1e-6)
+
+    def test_captures_correlation_better_than_avi(self) -> None:
+        table = correlated_table(30_000, dimensions=2, correlation=0.9, seed=2)
+        # A box along the anti-diagonal is nearly empty for correlated data.
+        query = RangeQuery({"x0": (-3.0, -1.0), "x1": (1.0, 3.0)})
+        truth = table.true_selectivity(query)
+        grid_estimate = GridHistogram(cells_per_dim=16).fit(table).estimate(query)
+        avi_estimate = IndependenceEstimator(model="normal").fit(table).estimate(query)
+        assert abs(grid_estimate - truth) < abs(avi_estimate - truth)
+
+    def test_budget_determines_resolution(self) -> None:
+        table = uniform_table(2000, dimensions=2, seed=3)
+        coarse = GridHistogram(budget_bytes=512).fit(table)
+        fine = GridHistogram(budget_bytes=8192).fit(table)
+        assert fine.resolution > coarse.resolution
+        assert coarse.memory_bytes() <= 512 + 4 * 8  # cells plus boundary floats
+
+    def test_minimal_budget_degrades_to_single_cell(self) -> None:
+        table = uniform_table(100, dimensions=4, seed=4)
+        estimator = GridHistogram(budget_bytes=8).fit(table)
+        assert estimator.resolution == 1
+        assert estimator.cell_count == 1
+        # A single cell can only answer with the uniform-spread fraction.
+        assert 0.0 <= estimator.estimate(RangeQuery({"x0": (0.0, 0.5)})) <= 1.0
+
+    def test_cell_frequencies_shape_and_total(self, mixture_table_2d: Table) -> None:
+        estimator = GridHistogram(cells_per_dim=8).fit(mixture_table_2d)
+        cells = estimator.cell_frequencies()
+        assert cells.shape == (8, 8)
+        assert cells.sum() == pytest.approx(mixture_table_2d.row_count)
+        assert estimator.cell_count == 64
+
+    def test_empty_table(self) -> None:
+        table = Table("empty", {"x0": np.array([]), "x1": np.array([])})
+        estimator = GridHistogram(cells_per_dim=4).fit(table)
+        assert estimator.estimate(RangeQuery({"x0": (0, 1)})) == 0.0
+
+    def test_estimates_valid(self, mixture_table_2d: Table, workload_2d) -> None:
+        estimator = GridHistogram(cells_per_dim=12).fit(mixture_table_2d)
+        for query in workload_2d:
+            assert 0.0 <= estimator.estimate(query) <= 1.0
+
+
+class TestIndependenceEstimator:
+    def test_invalid_model_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            IndependenceEstimator(model="weird")
+
+    def test_uniform_model_on_uniform_data(self) -> None:
+        table = uniform_table(20_000, dimensions=2, seed=5)
+        estimator = IndependenceEstimator(model="uniform").fit(table)
+        query = RangeQuery({"x0": (0.0, 0.5), "x1": (0.0, 0.5)})
+        assert estimator.estimate(query) == pytest.approx(0.25, abs=0.02)
+
+    def test_normal_model_on_gaussian_data(self) -> None:
+        rng = np.random.default_rng(6)
+        table = Table("gauss", {"x0": rng.standard_normal(20_000)})
+        estimator = IndependenceEstimator(model="normal").fit(table)
+        estimate = estimator.estimate(RangeQuery({"x0": (-1.0, 1.0)}))
+        assert estimate == pytest.approx(0.683, abs=0.02)
+
+    def test_tiny_memory_footprint(self, mixture_table_2d: Table) -> None:
+        estimator = IndependenceEstimator().fit(mixture_table_2d)
+        assert estimator.memory_bytes() == 2 * 4 * 8
+
+    def test_out_of_domain_query_is_zero(self, small_table: Table) -> None:
+        estimator = IndependenceEstimator().fit(small_table)
+        assert estimator.estimate(RangeQuery({"x0": (10.0, 20.0)})) == 0.0
+
+    def test_constant_column(self) -> None:
+        table = Table("constant", {"x0": np.full(100, 5.0)})
+        estimator = IndependenceEstimator().fit(table)
+        assert estimator.estimate(RangeQuery({"x0": (4.0, 6.0)})) == pytest.approx(1.0)
+        assert estimator.estimate(RangeQuery({"x0": (6.0, 7.0)})) == 0.0
+
+    def test_estimates_valid(self, mixture_table_2d: Table, workload_2d) -> None:
+        for model in ("uniform", "normal"):
+            estimator = IndependenceEstimator(model=model).fit(mixture_table_2d)
+            for query in workload_2d:
+                assert 0.0 <= estimator.estimate(query) <= 1.0

@@ -1,0 +1,135 @@
+"""Unit tests for the 1-D histogram synopses and the AVI combiner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.histogram import EquiDepthHistogram, EquiWidthHistogram, Histogram1D
+from repro.core.errors import InvalidParameterError, NotFittedError
+from repro.data.generators import uniform_table, zipf_table
+from repro.engine.table import Table
+from repro.workload.queries import RangeQuery
+
+
+class TestHistogram1D:
+    def test_invalid_construction(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            Histogram1D(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(InvalidParameterError):
+            Histogram1D(np.array([1.0, 0.0, 2.0]), np.array([1.0, 2.0]))
+        with pytest.raises(InvalidParameterError):
+            Histogram1D(np.array([0.0, 1.0, 2.0]), np.array([1.0, -2.0]))
+
+    def test_full_range_selectivity_is_one(self) -> None:
+        histogram = Histogram1D(np.array([0.0, 1.0, 2.0]), np.array([10.0, 30.0]))
+        assert histogram.selectivity(0.0, 2.0) == pytest.approx(1.0)
+
+    def test_uniform_spread_within_bucket(self) -> None:
+        histogram = Histogram1D(np.array([0.0, 1.0]), np.array([100.0]))
+        assert histogram.selectivity(0.0, 0.25) == pytest.approx(0.25)
+
+    def test_partial_overlap_of_two_buckets(self) -> None:
+        histogram = Histogram1D(np.array([0.0, 1.0, 2.0]), np.array([10.0, 30.0]))
+        # Half of the first bucket and half of the second.
+        expected = (0.5 * 10 + 0.5 * 30) / 40
+        assert histogram.selectivity(0.5, 1.5) == pytest.approx(expected)
+
+    def test_empty_histogram_returns_zero(self) -> None:
+        histogram = Histogram1D(np.array([0.0, 1.0]), np.array([0.0]))
+        assert histogram.selectivity(0.0, 1.0) == 0.0
+
+    def test_degenerate_point_bucket(self) -> None:
+        histogram = Histogram1D(np.array([0.0, 1.0, 1.0, 2.0]), np.array([10.0, 50.0, 40.0]))
+        # The point bucket at 1.0 is fully counted when the query contains it.
+        assert histogram.selectivity(0.99, 1.01) > 0.5 * 50 / 100
+
+    def test_inverted_range_returns_zero(self) -> None:
+        histogram = Histogram1D(np.array([0.0, 1.0]), np.array([5.0]))
+        assert histogram.selectivity(0.8, 0.2) == 0.0
+
+    def test_density_integrates_to_one(self) -> None:
+        histogram = Histogram1D(np.linspace(0, 1, 11), np.ones(10) * 7)
+        grid = np.linspace(0, 1, 1001)
+        density = histogram.density(grid)
+        assert np.trapezoid(density, grid) == pytest.approx(1.0, rel=1e-2)
+
+    def test_density_outside_domain_is_zero(self) -> None:
+        histogram = Histogram1D(np.linspace(0, 1, 5), np.ones(4))
+        assert histogram.density(np.array([-0.5, 1.5])).tolist() == [0.0, 0.0]
+
+    def test_memory_floats(self) -> None:
+        histogram = Histogram1D(np.linspace(0, 1, 11), np.ones(10))
+        assert histogram.memory_floats() == 21
+
+
+@pytest.mark.parametrize("estimator_type", [EquiWidthHistogram, EquiDepthHistogram])
+class TestHistogramEstimators:
+    def test_invalid_buckets(self, estimator_type) -> None:
+        with pytest.raises(InvalidParameterError):
+            estimator_type(buckets=0)
+
+    def test_unfitted_raises(self, estimator_type) -> None:
+        with pytest.raises(NotFittedError):
+            estimator_type().estimate(RangeQuery({"x0": (0, 1)}))
+
+    def test_uniform_data_accuracy(self, estimator_type) -> None:
+        table = uniform_table(20_000, dimensions=1, seed=1)
+        estimator = estimator_type(buckets=64).fit(table)
+        estimate = estimator.estimate(RangeQuery({"x0": (0.1, 0.6)}))
+        assert estimate == pytest.approx(0.5, abs=0.03)
+
+    def test_full_domain_close_to_one(self, estimator_type, skewed_table: Table) -> None:
+        estimator = estimator_type(buckets=32).fit(skewed_table)
+        low, high = skewed_table.domain()["x0"]
+        assert estimator.estimate(RangeQuery({"x0": (low, high)})) == pytest.approx(1.0, abs=0.01)
+
+    def test_avi_combination_multiplies(self, estimator_type) -> None:
+        table = uniform_table(30_000, dimensions=2, seed=2)
+        estimator = estimator_type(buckets=32).fit(table)
+        query = RangeQuery({"x0": (0.0, 0.5), "x1": (0.0, 0.5)})
+        assert estimator.estimate(query) == pytest.approx(0.25, abs=0.03)
+
+    def test_memory_scales_with_buckets(self, estimator_type, skewed_table: Table) -> None:
+        small = estimator_type(buckets=8).fit(skewed_table)
+        large = estimator_type(buckets=128).fit(skewed_table)
+        assert large.memory_bytes() > small.memory_bytes()
+
+    def test_histogram_accessor(self, estimator_type, skewed_table: Table) -> None:
+        estimator = estimator_type(buckets=16).fit(skewed_table)
+        histogram = estimator.histogram("x0")
+        assert histogram.bucket_count == 16
+        assert histogram.total == pytest.approx(skewed_table.row_count)
+
+    def test_estimates_valid(self, estimator_type, mixture_table_2d, workload_2d) -> None:
+        estimator = estimator_type(buckets=32).fit(mixture_table_2d)
+        for query in workload_2d:
+            assert 0.0 <= estimator.estimate(query) <= 1.0
+
+
+class TestEquiDepthSpecifics:
+    def test_buckets_have_roughly_equal_depth(self, skewed_table: Table) -> None:
+        estimator = EquiDepthHistogram(buckets=20).fit(skewed_table)
+        counts = estimator.histogram("x0").counts
+        expected = skewed_table.row_count / 20
+        # Heavy duplicates can distort individual buckets, but the median
+        # bucket should be near the target depth.
+        assert np.median(counts) == pytest.approx(expected, rel=0.5)
+
+    def test_no_rows_lost(self, skewed_table: Table) -> None:
+        estimator = EquiDepthHistogram(buckets=16).fit(skewed_table)
+        assert estimator.histogram("x0").counts.sum() == pytest.approx(skewed_table.row_count)
+
+    def test_equidepth_beats_equiwidth_on_skew(self) -> None:
+        table = zipf_table(30_000, dimensions=1, theta=1.5, distinct=5000, seed=9)
+        narrow = RangeQuery({"x0": (0.0, 5.0)})  # the dense head of the Zipf domain
+        truth = table.true_selectivity(narrow)
+        equidepth = EquiDepthHistogram(buckets=32).fit(table).estimate(narrow)
+        equiwidth = EquiWidthHistogram(buckets=32).fit(table).estimate(narrow)
+        assert abs(equidepth - truth) <= abs(equiwidth - truth) + 0.02
+
+    def test_constant_column(self) -> None:
+        table = Table("constant", {"x0": np.full(1000, 7.0)})
+        estimator = EquiDepthHistogram(buckets=8).fit(table)
+        assert estimator.estimate(RangeQuery({"x0": (6.9, 7.1)})) == pytest.approx(1.0, abs=0.01)
+        assert estimator.estimate(RangeQuery({"x0": (8.0, 9.0)})) == pytest.approx(0.0, abs=0.01)

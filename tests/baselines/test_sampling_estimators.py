@@ -1,0 +1,104 @@
+"""Unit tests for the sampling-based estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sampling import ReservoirSamplingEstimator, SamplingEstimator
+from repro.core.errors import InvalidParameterError, NotFittedError
+from repro.data.generators import uniform_table
+from repro.engine.table import Table
+from repro.workload.queries import RangeQuery
+
+
+class TestSamplingEstimator:
+    def test_invalid_sample_size(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            SamplingEstimator(sample_size=0)
+
+    def test_unfitted_raises(self) -> None:
+        with pytest.raises(NotFittedError):
+            SamplingEstimator().estimate(RangeQuery({"x0": (0, 1)}))
+
+    def test_sample_size_respected(self, mixture_table_1d: Table) -> None:
+        estimator = SamplingEstimator(sample_size=100).fit(mixture_table_1d)
+        assert estimator.sample_rows.shape == (100, 1)
+
+    def test_small_table_fully_retained(self) -> None:
+        table = uniform_table(50, dimensions=2, seed=1)
+        estimator = SamplingEstimator(sample_size=1000).fit(table)
+        assert estimator.sample_rows.shape == (50, 2)
+
+    def test_uniform_accuracy(self) -> None:
+        table = uniform_table(50_000, dimensions=1, seed=2)
+        estimator = SamplingEstimator(sample_size=2000).fit(table)
+        estimate = estimator.estimate(RangeQuery({"x0": (0.1, 0.4)}))
+        assert estimate == pytest.approx(0.3, abs=0.03)
+
+    def test_estimate_granularity_limited_by_sample(self, mixture_table_1d: Table) -> None:
+        estimator = SamplingEstimator(sample_size=100).fit(mixture_table_1d)
+        query = RangeQuery({"x0": mixture_table_1d.domain()["x0"]})
+        value = estimator.estimate(query)
+        # Any estimate is a multiple of 1/sample_size.
+        assert (value * 100) == pytest.approx(round(value * 100), abs=1e-9)
+
+    def test_memory_is_sample_bytes(self, mixture_table_2d: Table) -> None:
+        estimator = SamplingEstimator(sample_size=250).fit(mixture_table_2d)
+        assert estimator.memory_bytes() == 250 * 2 * 8
+
+    def test_seed_reproducibility(self, mixture_table_1d: Table) -> None:
+        q = RangeQuery({"x0": (0.0, 2.0)})
+        a = SamplingEstimator(sample_size=200, seed=3).fit(mixture_table_1d).estimate(q)
+        b = SamplingEstimator(sample_size=200, seed=3).fit(mixture_table_1d).estimate(q)
+        assert a == b
+
+
+class TestReservoirSamplingEstimator:
+    def test_invalid_sample_size(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            ReservoirSamplingEstimator(sample_size=0)
+
+    def test_start_requires_columns(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            ReservoirSamplingEstimator().start([])
+
+    def test_fit_then_estimate(self, mixture_table_1d: Table) -> None:
+        estimator = ReservoirSamplingEstimator(sample_size=200).fit(mixture_table_1d)
+        low, high = mixture_table_1d.domain()["x0"]
+        assert estimator.estimate(RangeQuery({"x0": (low, high)})) == pytest.approx(1.0, abs=0.01)
+
+    def test_streaming_insert_tracks_row_count(self) -> None:
+        estimator = ReservoirSamplingEstimator(sample_size=64).start(["x0"])
+        rng = np.random.default_rng(4)
+        estimator.insert(rng.uniform(size=(500, 1)))
+        estimator.insert(rng.uniform(size=(250, 1)))
+        assert estimator.row_count == 750
+
+    def test_uniform_stream_accuracy(self) -> None:
+        estimator = ReservoirSamplingEstimator(sample_size=1000, seed=5).start(["x0"])
+        rng = np.random.default_rng(5)
+        estimator.insert(rng.uniform(size=(20_000, 1)))
+        estimate = estimator.estimate(RangeQuery({"x0": (0.0, 0.25)}))
+        assert estimate == pytest.approx(0.25, abs=0.05)
+
+    def test_decayed_reservoir_tracks_recent_distribution(self) -> None:
+        decayed = ReservoirSamplingEstimator(sample_size=256, decay=True, seed=6).start(["x0"])
+        uniform = ReservoirSamplingEstimator(sample_size=256, decay=False, seed=6).start(["x0"])
+        rng = np.random.default_rng(6)
+        old = rng.uniform(0.0, 1.0, size=(5000, 1))
+        new = rng.uniform(10.0, 11.0, size=(5000, 1))
+        for estimator in (decayed, uniform):
+            estimator.insert(old)
+            estimator.insert(new)
+        recent_query = RangeQuery({"x0": (10.0, 11.0)})
+        assert decayed.estimate(recent_query) > uniform.estimate(recent_query)
+        assert decayed.estimate(recent_query) > 0.9
+
+    def test_memory_constant_regardless_of_stream_length(self) -> None:
+        estimator = ReservoirSamplingEstimator(sample_size=128).start(["x0", "x1"])
+        rng = np.random.default_rng(7)
+        estimator.insert(rng.uniform(size=(100, 2)))
+        before = estimator.memory_bytes()
+        estimator.insert(rng.uniform(size=(10_000, 2)))
+        assert estimator.memory_bytes() == before == 128 * 2 * 8

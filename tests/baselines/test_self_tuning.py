@@ -1,0 +1,114 @@
+"""Unit tests for the self-tuning (feedback-refined) grid histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.stholes import SelfTuningHistogram
+from repro.core.errors import InvalidParameterError, NotFittedError
+from repro.data.generators import gaussian_mixture_table, uniform_table
+from repro.engine.table import Table
+from repro.workload.generators import SkewedWorkload
+from repro.workload.queries import RangeQuery
+
+
+@pytest.fixture(scope="module")
+def table() -> Table:
+    return gaussian_mixture_table(6000, dimensions=2, components=3, separation=4.0, seed=31)
+
+
+class TestConstruction:
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            SelfTuningHistogram(cells_per_dim=0)
+        with pytest.raises(InvalidParameterError):
+            SelfTuningHistogram(learning_rate=0.0)
+        with pytest.raises(InvalidParameterError):
+            SelfTuningHistogram(learning_rate=1.5)
+        with pytest.raises(InvalidParameterError):
+            SelfTuningHistogram(seed_sample=-1)
+
+    def test_unfitted_raises(self) -> None:
+        with pytest.raises(NotFittedError):
+            SelfTuningHistogram().estimate(RangeQuery({"x0": (0, 1)}))
+        with pytest.raises(NotFittedError):
+            SelfTuningHistogram().feedback(RangeQuery({"x0": (0, 1)}), 0.5)
+
+
+class TestBehaviour:
+    def test_unseeded_start_is_uniform(self, table: Table) -> None:
+        estimator = SelfTuningHistogram(cells_per_dim=8, seed_sample=0).fit(table)
+        cells = estimator.cell_frequencies()
+        np.testing.assert_allclose(cells, cells.flat[0])
+        assert cells.sum() == pytest.approx(1.0)
+
+    def test_seeded_start_reflects_data(self, table: Table) -> None:
+        estimator = SelfTuningHistogram(cells_per_dim=8, seed_sample=2000).fit(table)
+        cells = estimator.cell_frequencies()
+        assert cells.sum() == pytest.approx(1.0)
+        assert cells.max() > 2.0 / cells.size  # clearly non-uniform
+
+    def test_frequencies_stay_normalised_after_feedback(self, table: Table) -> None:
+        estimator = SelfTuningHistogram(cells_per_dim=8).fit(table)
+        workload = SkewedWorkload(table, volume_fraction=0.2, seed=1).generate(30)
+        for query in workload:
+            estimator.feedback(query, table.true_selectivity(query))
+        assert estimator.cell_frequencies().sum() == pytest.approx(1.0)
+        assert np.all(estimator.cell_frequencies() >= 0)
+
+    def test_feedback_moves_estimate_towards_truth(self, table: Table) -> None:
+        estimator = SelfTuningHistogram(cells_per_dim=8, learning_rate=1.0).fit(table)
+        query = RangeQuery({"x0": (0.0, 2.0), "x1": (0.0, 2.0)})
+        truth = table.true_selectivity(query)
+        before = abs(estimator.estimate(query) - truth)
+        estimator.feedback(query, truth)
+        after = abs(estimator.estimate(query) - truth)
+        assert after <= before + 1e-12
+        assert estimator.estimate(query) == pytest.approx(truth, abs=0.05)
+
+    def test_repeated_feedback_converges_on_workload(self, table: Table) -> None:
+        estimator = SelfTuningHistogram(cells_per_dim=10, learning_rate=0.5).fit(table)
+        workload = SkewedWorkload(
+            table, volume_fraction=0.15, hot_probability=1.0, seed=2
+        ).generate(100)
+        truths = np.array([table.true_selectivity(q) for q in workload])
+        before = np.mean(np.abs([estimator.estimate(q) for q in workload] - truths))
+        for _ in range(3):
+            for query, truth in zip(workload, truths):
+                estimator.feedback(query, float(truth))
+        after = np.mean(np.abs([estimator.estimate(q) for q in workload] - truths))
+        assert after < before
+        assert estimator.feedback_count == 300
+
+    def test_feedback_on_empty_region(self, table: Table) -> None:
+        estimator = SelfTuningHistogram(cells_per_dim=8, seed_sample=1000).fit(table)
+        domain = table.domain()
+        high = domain["x0"][1]
+        query = RangeQuery({"x0": (high - 0.01, high), "x1": (domain["x1"][0], domain["x1"][0] + 0.01)})
+        estimator.feedback(query, 0.0)
+        assert estimator.estimate(query) == pytest.approx(0.0, abs=0.01)
+
+    def test_invalid_feedback_fraction_raises(self, table: Table) -> None:
+        estimator = SelfTuningHistogram(cells_per_dim=4).fit(table)
+        with pytest.raises(InvalidParameterError):
+            estimator.feedback(RangeQuery({"x0": (0, 1), "x1": (0, 1)}), -0.1)
+
+    def test_memory_independent_of_feedback(self, table: Table) -> None:
+        estimator = SelfTuningHistogram(cells_per_dim=8).fit(table)
+        before = estimator.memory_bytes()
+        query = RangeQuery({"x0": (0.0, 1.0), "x1": (0.0, 1.0)})
+        estimator.feedback(query, table.true_selectivity(query))
+        assert estimator.memory_bytes() == before
+
+    def test_estimates_valid(self, table: Table) -> None:
+        estimator = SelfTuningHistogram(cells_per_dim=8, seed_sample=500).fit(table)
+        workload = SkewedWorkload(table, volume_fraction=0.2, seed=3).generate(30)
+        for query in workload:
+            assert 0.0 <= estimator.estimate(query) <= 1.0
+
+    def test_works_on_uniform_1d(self) -> None:
+        table = uniform_table(5000, dimensions=1, seed=7)
+        estimator = SelfTuningHistogram(cells_per_dim=16, seed_sample=1000).fit(table)
+        query = RangeQuery({"x0": (0.25, 0.75)})
+        assert estimator.estimate(query) == pytest.approx(0.5, abs=0.1)

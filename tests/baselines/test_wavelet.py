@@ -1,0 +1,121 @@
+"""Unit tests for the Haar wavelet transform and the wavelet synopsis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.wavelet import (
+    WaveletHistogram,
+    haar_transform,
+    inverse_haar_transform,
+    top_k_coefficients,
+)
+from repro.core.errors import InvalidParameterError, NotFittedError
+from repro.data.generators import uniform_table, zipf_table
+from repro.engine.table import Table
+from repro.workload.queries import RangeQuery
+
+
+class TestHaarTransform:
+    def test_round_trip(self) -> None:
+        rng = np.random.default_rng(0)
+        for size in (2, 8, 64, 256):
+            values = rng.uniform(size=size)
+            np.testing.assert_allclose(
+                inverse_haar_transform(haar_transform(values)), values, atol=1e-10
+            )
+
+    def test_energy_preservation(self) -> None:
+        rng = np.random.default_rng(1)
+        values = rng.uniform(size=128)
+        transformed = haar_transform(values)
+        assert np.sum(values**2) == pytest.approx(np.sum(transformed**2))
+
+    def test_constant_signal_single_coefficient(self) -> None:
+        values = np.full(16, 3.0)
+        transformed = haar_transform(values)
+        assert transformed[0] == pytest.approx(3.0 * 4.0)  # mean * sqrt(n)
+        np.testing.assert_allclose(transformed[1:], 0.0, atol=1e-12)
+
+    def test_non_power_of_two_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            haar_transform(np.ones(6))
+        with pytest.raises(InvalidParameterError):
+            inverse_haar_transform(np.ones(6))
+
+    def test_empty_input(self) -> None:
+        assert haar_transform(np.array([])).size == 0
+
+    def test_top_k_keeps_largest(self) -> None:
+        coefficients = np.array([5.0, -3.0, 0.5, 0.1])
+        kept = top_k_coefficients(coefficients, 2)
+        np.testing.assert_allclose(kept, [5.0, -3.0, 0.0, 0.0])
+
+    def test_top_k_zero(self) -> None:
+        np.testing.assert_allclose(top_k_coefficients(np.ones(4), 0), 0.0)
+
+    def test_top_k_larger_than_input(self) -> None:
+        coefficients = np.array([1.0, 2.0])
+        np.testing.assert_allclose(top_k_coefficients(coefficients, 10), coefficients)
+
+    def test_top_k_negative_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            top_k_coefficients(np.ones(4), -1)
+
+
+class TestWaveletHistogram:
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            WaveletHistogram(resolution=1)
+        with pytest.raises(InvalidParameterError):
+            WaveletHistogram(coefficients=0)
+
+    def test_resolution_rounded_to_power_of_two(self) -> None:
+        assert WaveletHistogram(resolution=100).resolution == 128
+
+    def test_unfitted_raises(self) -> None:
+        with pytest.raises(NotFittedError):
+            WaveletHistogram().estimate(RangeQuery({"x0": (0, 1)}))
+
+    def test_uniform_accuracy(self) -> None:
+        table = uniform_table(30_000, dimensions=1, seed=2)
+        estimator = WaveletHistogram(resolution=256, coefficients=32).fit(table)
+        assert estimator.estimate(RangeQuery({"x0": (0.2, 0.7)})) == pytest.approx(0.5, abs=0.03)
+
+    def test_full_domain_close_to_one(self, skewed_table: Table) -> None:
+        estimator = WaveletHistogram(resolution=256, coefficients=48).fit(skewed_table)
+        low, high = skewed_table.domain()["x0"]
+        assert estimator.estimate(RangeQuery({"x0": (low, high)})) == pytest.approx(1.0, abs=0.02)
+
+    def test_more_coefficients_do_not_hurt(self) -> None:
+        table = zipf_table(30_000, dimensions=1, theta=1.0, seed=3)
+        queries = [RangeQuery({"x0": (i * 10.0, i * 10.0 + 30.0)}) for i in range(10)]
+        truths = np.array([table.true_selectivity(q) for q in queries])
+
+        def error(coefficients: int) -> float:
+            estimator = WaveletHistogram(resolution=256, coefficients=coefficients).fit(table)
+            estimates = np.array([estimator.estimate(q) for q in queries])
+            return float(np.mean(np.abs(estimates - truths)))
+
+        assert error(128) <= error(8) + 1e-6
+
+    def test_reconstructed_histogram_total_preserved(self, skewed_table: Table) -> None:
+        estimator = WaveletHistogram(resolution=128, coefficients=16).fit(skewed_table)
+        assert estimator.histogram("x0").total == pytest.approx(skewed_table.row_count, rel=1e-6)
+
+    def test_memory_depends_on_coefficients_not_resolution(self, skewed_table: Table) -> None:
+        small = WaveletHistogram(resolution=1024, coefficients=8).fit(skewed_table)
+        large = WaveletHistogram(resolution=1024, coefficients=64).fit(skewed_table)
+        assert large.memory_bytes() > small.memory_bytes()
+
+    def test_avi_combination(self) -> None:
+        table = uniform_table(30_000, dimensions=2, seed=4)
+        estimator = WaveletHistogram(resolution=128, coefficients=32).fit(table)
+        query = RangeQuery({"x0": (0.0, 0.5), "x1": (0.0, 0.5)})
+        assert estimator.estimate(query) == pytest.approx(0.25, abs=0.03)
+
+    def test_estimates_valid(self, mixture_table_2d: Table, workload_2d) -> None:
+        estimator = WaveletHistogram(resolution=128, coefficients=16).fit(mixture_table_2d)
+        for query in workload_2d:
+            assert 0.0 <= estimator.estimate(query) <= 1.0

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    RangeQuery,
+    Table,
+    UniformWorkload,
+    correlated_table,
+    gaussian_mixture_table,
+    uniform_table,
+    zipf_table,
+)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session-wide random generator with a fixed seed."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_table() -> Table:
+    """A small 1-D uniform table used by cheap unit tests."""
+    return uniform_table(rows=2000, dimensions=1, seed=1, name="small")
+
+
+@pytest.fixture(scope="session")
+def mixture_table_1d() -> Table:
+    """1-D multimodal table (4-component Gaussian mixture)."""
+    return gaussian_mixture_table(rows=5000, dimensions=1, components=4, separation=4.0, seed=2)
+
+
+@pytest.fixture(scope="session")
+def mixture_table_2d() -> Table:
+    """2-D multimodal table."""
+    return gaussian_mixture_table(rows=5000, dimensions=2, components=3, separation=4.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def skewed_table() -> Table:
+    """1-D Zipf-skewed table."""
+    return zipf_table(rows=5000, dimensions=1, theta=1.2, seed=4)
+
+
+@pytest.fixture(scope="session")
+def correlated_table_3d() -> Table:
+    """3-D correlated Gaussian table."""
+    return correlated_table(rows=4000, dimensions=3, correlation=0.8, seed=5)
+
+
+@pytest.fixture(scope="session")
+def workload_1d(mixture_table_1d: Table) -> list[RangeQuery]:
+    """A reusable 1-D workload over the mixture table."""
+    return UniformWorkload(mixture_table_1d, volume_fraction=0.1, seed=6).generate(50)
+
+
+@pytest.fixture(scope="session")
+def workload_2d(mixture_table_2d: Table) -> list[RangeQuery]:
+    """A reusable 2-D workload over the 2-D mixture table."""
+    return UniformWorkload(mixture_table_2d, volume_fraction=0.2, seed=7).generate(50)
+
+
+def assert_valid_selectivity(value: float) -> None:
+    """Every estimate must be a finite fraction in [0, 1]."""
+    assert np.isfinite(value)
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,106 @@
+"""Unit tests for the sample-point adaptive KDE estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveKDEEstimator
+from repro.core.errors import InvalidParameterError, NotFittedError
+from repro.core.kde import KDESelectivityEstimator
+from repro.data.generators import zipf_table
+from repro.engine.executor import evaluate_estimator
+from repro.engine.table import Table
+from repro.workload.generators import UniformWorkload
+from repro.workload.queries import RangeQuery
+
+
+class TestConstruction:
+    def test_invalid_sensitivity_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            AdaptiveKDEEstimator(sensitivity=2.0)
+
+    def test_invalid_max_factor_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            AdaptiveKDEEstimator(max_factor=0.1)
+
+    def test_local_factors_before_fit_raises(self) -> None:
+        with pytest.raises(NotFittedError):
+            AdaptiveKDEEstimator().local_factors
+
+
+class TestLocalFactors:
+    def test_factor_count_matches_sample(self, mixture_table_1d: Table) -> None:
+        estimator = AdaptiveKDEEstimator(sample_size=256).fit(mixture_table_1d)
+        assert estimator.local_factors.shape == (256,)
+
+    def test_factors_positive_and_clipped(self, mixture_table_1d: Table) -> None:
+        estimator = AdaptiveKDEEstimator(sample_size=256, max_factor=2.5).fit(mixture_table_1d)
+        factors = estimator.local_factors
+        assert np.all(factors > 0)
+        assert np.all(factors <= 2.5 + 1e-9)
+        assert np.all(factors >= 1 / 2.5 - 1e-9)
+
+    def test_zero_sensitivity_matches_fixed_kde(self, mixture_table_1d: Table) -> None:
+        adaptive = AdaptiveKDEEstimator(sample_size=300, sensitivity=0.0, seed=1).fit(
+            mixture_table_1d
+        )
+        fixed = KDESelectivityEstimator(sample_size=300, seed=1).fit(mixture_table_1d)
+        np.testing.assert_allclose(adaptive.local_factors, 1.0)
+        query = RangeQuery({"x0": (0.0, 3.0)})
+        assert adaptive.estimate(query) == pytest.approx(fixed.estimate(query), abs=1e-9)
+
+    def test_sparse_tail_points_get_wider_kernels(self) -> None:
+        table = zipf_table(10_000, dimensions=1, theta=1.5, seed=3)
+        estimator = AdaptiveKDEEstimator(sample_size=500, max_factor=5.0, seed=0).fit(table)
+        points = estimator.sample_points[:, 0]
+        factors = estimator.local_factors
+        # Points in the dense head (below the median) should on average get
+        # tighter kernels than points in the sparse tail.
+        median = float(np.median(points))
+        head = factors[points <= median]
+        tail = factors[points > median]
+        assert head.mean() < tail.mean()
+
+
+class TestEstimates:
+    def test_estimates_are_valid_fractions(self, mixture_table_2d: Table, workload_2d) -> None:
+        estimator = AdaptiveKDEEstimator(sample_size=256).fit(mixture_table_2d)
+        for query in workload_2d:
+            assert 0.0 <= estimator.estimate(query) <= 1.0
+
+    def test_full_domain_close_to_one(self, mixture_table_1d: Table) -> None:
+        estimator = AdaptiveKDEEstimator(sample_size=400).fit(mixture_table_1d)
+        low, high = mixture_table_1d.domain()["x0"]
+        assert estimator.estimate(RangeQuery({"x0": (low, high)})) == pytest.approx(1.0, abs=0.05)
+
+    def test_adaptive_beats_fixed_on_skewed_data(self) -> None:
+        table = zipf_table(30_000, dimensions=1, theta=1.2, seed=11)
+        workload = UniformWorkload(table, volume_fraction=0.05, seed=12).generate(150)
+        adaptive = AdaptiveKDEEstimator(sample_size=512, seed=0).fit(table)
+        fixed = KDESelectivityEstimator(sample_size=512, seed=0).fit(table)
+        adaptive_error = evaluate_estimator(table, adaptive, workload).mean_q_error()
+        fixed_error = evaluate_estimator(table, fixed, workload).mean_q_error()
+        assert adaptive_error <= fixed_error * 1.05
+
+    def test_memory_accounts_for_factors(self, mixture_table_1d: Table) -> None:
+        adaptive = AdaptiveKDEEstimator(sample_size=200, seed=0).fit(mixture_table_1d)
+        fixed = KDESelectivityEstimator(sample_size=200, seed=0).fit(mixture_table_1d)
+        assert adaptive.memory_bytes() > fixed.memory_bytes()
+
+    def test_density_integrates_to_one(self, mixture_table_1d: Table) -> None:
+        estimator = AdaptiveKDEEstimator(sample_size=300).fit(mixture_table_1d)
+        low, high = mixture_table_1d.domain()["x0"]
+        grid = np.linspace(low - 5, high + 5, 1000).reshape(-1, 1)
+        density = estimator.density(grid)
+        assert np.all(density >= 0)
+        integral = np.trapezoid(density, dx=float(grid[1, 0] - grid[0, 0]))
+        assert integral == pytest.approx(1.0, abs=0.05)
+
+    def test_density_dimension_mismatch_raises(self, mixture_table_2d: Table) -> None:
+        estimator = AdaptiveKDEEstimator(sample_size=100).fit(mixture_table_2d)
+        with pytest.raises(InvalidParameterError):
+            estimator.density(np.zeros((3, 5)))
+
+    def test_registry_name(self) -> None:
+        assert AdaptiveKDEEstimator.name == "adaptive_kde"

@@ -1,0 +1,203 @@
+"""Unit tests for bandwidth selection rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth import (
+    bandwidth_grid,
+    knn_bandwidths,
+    local_bandwidth_factors,
+    lscv_bandwidth,
+    mlcv_bandwidth,
+    robust_scale,
+    scott_bandwidth,
+    select_bandwidth,
+    silverman_bandwidth,
+)
+from repro.core.errors import InvalidParameterError
+
+
+class TestRobustScale:
+    def test_standard_normal(self) -> None:
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal(20_000)
+        assert robust_scale(values) == pytest.approx(1.0, rel=0.05)
+
+    def test_constant_data_positive(self) -> None:
+        assert robust_scale(np.full(100, 3.0)) > 0
+
+    def test_empty_data(self) -> None:
+        assert robust_scale(np.array([])) == 1.0
+
+    def test_uses_iqr_for_outlier_heavy_data(self) -> None:
+        rng = np.random.default_rng(1)
+        values = np.concatenate([rng.standard_normal(1000), [1e6, -1e6]])
+        # The IQR-based scale should be close to 1, far below the raw std.
+        assert robust_scale(values) < 10.0
+
+
+class TestRuleOfThumb:
+    def test_scott_shrinks_with_sample_size(self) -> None:
+        rng = np.random.default_rng(2)
+        small = rng.standard_normal(100)
+        large = rng.standard_normal(10_000)
+        assert scott_bandwidth(large) < scott_bandwidth(small)
+
+    def test_scott_scales_with_spread(self) -> None:
+        rng = np.random.default_rng(3)
+        base = rng.standard_normal(5000)
+        wide = base * 10.0
+        assert scott_bandwidth(wide) == pytest.approx(10.0 * scott_bandwidth(base), rel=1e-6)
+
+    def test_scott_known_value(self) -> None:
+        rng = np.random.default_rng(4)
+        values = rng.standard_normal(10_000)
+        expected = robust_scale(values) * 10_000 ** (-1.0 / 5.0)
+        assert scott_bandwidth(values) == pytest.approx(expected)
+
+    def test_silverman_close_to_scott_in_1d(self) -> None:
+        rng = np.random.default_rng(5)
+        values = rng.standard_normal(5000)
+        ratio = silverman_bandwidth(values) / scott_bandwidth(values)
+        assert ratio == pytest.approx((4.0 / 3.0) ** 0.2, rel=1e-6)
+
+    def test_dimension_exponent(self) -> None:
+        rng = np.random.default_rng(6)
+        values = rng.standard_normal(4096)
+        h1 = scott_bandwidth(values, dimensions=1)
+        h3 = scott_bandwidth(values, dimensions=3)
+        assert h3 > h1  # slower decay with n in higher dimensions
+
+    def test_positive_for_constant_column(self) -> None:
+        values = np.full(1000, 42.0)
+        assert scott_bandwidth(values) > 0
+        assert silverman_bandwidth(values) > 0
+
+
+class TestCrossValidation:
+    def test_lscv_returns_candidate(self) -> None:
+        rng = np.random.default_rng(7)
+        values = rng.standard_normal(400)
+        candidates = bandwidth_grid(values, size=10)
+        h = lscv_bandwidth(values, candidates=candidates)
+        assert any(np.isclose(h, candidates))
+
+    def test_lscv_prefers_small_bandwidth_for_multimodal(self) -> None:
+        rng = np.random.default_rng(8)
+        values = np.concatenate([rng.normal(0, 0.3, 500), rng.normal(10, 0.3, 500)])
+        h_cv = lscv_bandwidth(values)
+        h_scott = scott_bandwidth(values)
+        assert h_cv < h_scott
+
+    def test_mlcv_prefers_small_bandwidth_for_multimodal(self) -> None:
+        rng = np.random.default_rng(9)
+        values = np.concatenate([rng.normal(0, 0.3, 500), rng.normal(10, 0.3, 500)])
+        assert mlcv_bandwidth(values) < scott_bandwidth(values)
+
+    def test_cv_with_tiny_sample_falls_back_to_scott(self) -> None:
+        values = np.array([1.0, 2.0])
+        assert lscv_bandwidth(values) == pytest.approx(scott_bandwidth(values))
+        assert mlcv_bandwidth(values) == pytest.approx(scott_bandwidth(values))
+
+    def test_lscv_epanechnikov_kernel_runs(self) -> None:
+        rng = np.random.default_rng(10)
+        values = rng.standard_normal(300)
+        h = lscv_bandwidth(values, kernel="epanechnikov")
+        assert h > 0
+
+    def test_subsampling_keeps_result_in_grid_range(self) -> None:
+        rng = np.random.default_rng(11)
+        values = rng.standard_normal(3000)
+        full = lscv_bandwidth(values, max_points=3000)
+        subsampled = lscv_bandwidth(values, max_points=500, rng=np.random.default_rng(0))
+        # Sub-sampling the pairwise-difference matrix changes the optimum a
+        # little but must stay in the same order of magnitude.
+        assert subsampled > 0
+        assert 0.2 < subsampled / full < 5.0
+
+
+class TestSelectBandwidth:
+    def test_named_rules(self, rng: np.random.Generator) -> None:
+        values = rng.standard_normal(500)
+        for rule in ("scott", "silverman", "lscv", "mlcv"):
+            assert select_bandwidth(values, rule=rule) > 0
+
+    def test_unknown_rule_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            select_bandwidth(np.arange(10.0), rule="magic")
+
+
+class TestBandwidthGrid:
+    def test_grid_is_increasing_and_positive(self) -> None:
+        rng = np.random.default_rng(12)
+        grid = bandwidth_grid(rng.standard_normal(200), size=15)
+        assert grid.size == 15
+        assert np.all(grid > 0)
+        assert np.all(np.diff(grid) > 0)
+
+    def test_grid_brackets_scott(self) -> None:
+        rng = np.random.default_rng(13)
+        values = rng.standard_normal(200)
+        grid = bandwidth_grid(values)
+        h = scott_bandwidth(values)
+        assert grid[0] < h < grid[-1]
+
+    def test_grid_too_small_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            bandwidth_grid(np.arange(10.0), size=1)
+
+
+class TestLocalFactors:
+    def test_geometric_mean_close_to_one_without_clipping(self) -> None:
+        rng = np.random.default_rng(14)
+        density = rng.uniform(0.5, 2.0, 1000)
+        factors = local_bandwidth_factors(density, sensitivity=0.5, max_factor=100.0)
+        assert np.exp(np.mean(np.log(factors))) == pytest.approx(1.0, rel=1e-6)
+
+    def test_low_density_gets_larger_factor(self) -> None:
+        density = np.array([0.01, 1.0, 5.0])
+        factors = local_bandwidth_factors(density, sensitivity=0.5, max_factor=100.0)
+        assert factors[0] > factors[1] > factors[2]
+
+    def test_zero_sensitivity_gives_unit_factors(self) -> None:
+        density = np.array([0.1, 1.0, 10.0])
+        np.testing.assert_allclose(local_bandwidth_factors(density, sensitivity=0.0), 1.0)
+
+    def test_factors_clipped(self) -> None:
+        density = np.array([1e-9, 1.0, 1e9])
+        factors = local_bandwidth_factors(density, sensitivity=1.0, max_factor=2.0)
+        assert np.all(factors <= 2.0 + 1e-12)
+        assert np.all(factors >= 0.5 - 1e-12)
+
+    def test_invalid_sensitivity_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            local_bandwidth_factors(np.ones(3), sensitivity=1.5)
+
+    def test_invalid_max_factor_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            local_bandwidth_factors(np.ones(3), max_factor=0.5)
+
+    def test_empty_input(self) -> None:
+        assert local_bandwidth_factors(np.array([])).size == 0
+
+
+class TestKnnBandwidths:
+    def test_shape_and_positivity(self) -> None:
+        rng = np.random.default_rng(15)
+        values = rng.standard_normal(200)
+        h = knn_bandwidths(values, k=10)
+        assert h.shape == values.shape
+        assert np.all(h > 0)
+
+    def test_sparse_region_gets_larger_bandwidth(self) -> None:
+        values = np.concatenate([np.linspace(0, 1, 100), [10.0]])
+        h = knn_bandwidths(values, k=5)
+        assert h[-1] > np.median(h[:-1])
+
+    def test_single_point(self) -> None:
+        assert knn_bandwidths(np.array([3.0])).size == 1
+
+    def test_empty(self) -> None:
+        assert knn_bandwidths(np.array([])).size == 0

@@ -1,0 +1,101 @@
+"""Tests for the estimator base class contract and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidParameterError, NotFittedError
+from repro.core.estimator import (
+    FLOAT_BYTES,
+    SelectivityEstimator,
+    available_estimators,
+    create_estimator,
+    estimator_from_config,
+    register_estimator,
+)
+from repro.engine.table import Table
+from repro.workload.queries import RangeQuery
+
+EXPECTED_ESTIMATORS = {
+    "kde",
+    "adaptive_kde",
+    "streaming_ade",
+    "feedback_ade",
+    "equiwidth",
+    "equidepth",
+    "grid",
+    "sampling",
+    "reservoir_sampling",
+    "wavelet",
+    "st_histogram",
+    "independence",
+}
+
+
+class TestRegistry:
+    def test_all_estimators_registered(self) -> None:
+        assert EXPECTED_ESTIMATORS.issubset(set(available_estimators()))
+
+    def test_create_estimator_by_name(self) -> None:
+        estimator = create_estimator("kde", sample_size=10)
+        assert estimator.name == "kde"
+        assert not estimator.is_fitted
+
+    def test_create_unknown_estimator_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            create_estimator("no_such_estimator")
+
+    def test_duplicate_registration_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            register_estimator("kde")(object)
+
+    def test_estimator_from_config(self) -> None:
+        estimator = estimator_from_config({"name": "equiwidth", "buckets": 7})
+        assert estimator.name == "equiwidth"
+        assert estimator.buckets == 7
+
+    def test_estimator_from_config_requires_name(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            estimator_from_config({"buckets": 7})
+
+    def test_every_registered_estimator_fits_and_estimates(self, small_table: Table) -> None:
+        query = RangeQuery({"x0": (0.2, 0.8)})
+        for name in EXPECTED_ESTIMATORS:
+            kwargs = {"max_kernels": 16} if name == "streaming_ade" else {}
+            estimator = create_estimator(name, **kwargs)
+            estimator.fit(small_table)
+            value = estimator.estimate(query)
+            assert 0.0 <= value <= 1.0, name
+            assert estimator.memory_bytes() > 0, name
+
+
+class TestBaseContract:
+    def test_describe_structure(self, small_table: Table) -> None:
+        estimator = create_estimator("sampling", sample_size=50).fit(small_table)
+        description = estimator.describe()
+        assert description["name"] == "sampling"
+        assert description["columns"] == ["x0"]
+        assert description["rows_modelled"] == small_table.row_count
+        assert description["memory_bytes"] == estimator.memory_bytes()
+
+    def test_describe_unfitted_has_zero_memory(self) -> None:
+        assert create_estimator("sampling").describe()["memory_bytes"] == 0
+
+    def test_repr_mentions_state(self, small_table: Table) -> None:
+        estimator = create_estimator("sampling", sample_size=10)
+        assert "unfitted" in repr(estimator)
+        estimator.fit(small_table)
+        assert "fitted" in repr(estimator)
+
+    def test_unfitted_estimate_raises(self) -> None:
+        with pytest.raises(NotFittedError):
+            create_estimator("equidepth").estimate(RangeQuery({"x0": (0, 1)}))
+
+    def test_clip_fraction(self) -> None:
+        assert SelectivityEstimator._clip_fraction(-0.5) == 0.0
+        assert SelectivityEstimator._clip_fraction(1.5) == 1.0
+        assert SelectivityEstimator._clip_fraction(float("nan")) == 0.0
+        assert SelectivityEstimator._clip_fraction(0.25) == 0.25
+
+    def test_float_bytes_constant(self) -> None:
+        assert FLOAT_BYTES == 8

@@ -1,0 +1,144 @@
+"""Unit tests for the query-feedback self-tuning estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError, NotFittedError
+from repro.core.feedback import FeedbackAdaptiveEstimator, FeedbackRecord
+from repro.core.kde import KDESelectivityEstimator
+from repro.data.generators import gaussian_mixture_table
+from repro.engine.executor import evaluate_estimator
+from repro.engine.table import Table
+from repro.workload.generators import SkewedWorkload
+from repro.workload.queries import RangeQuery
+
+
+@pytest.fixture(scope="module")
+def table() -> Table:
+    return gaussian_mixture_table(8000, dimensions=2, components=4, separation=4.0, seed=21)
+
+
+@pytest.fixture()
+def fitted(table: Table) -> FeedbackAdaptiveEstimator:
+    estimator = FeedbackAdaptiveEstimator(
+        base=KDESelectivityEstimator(sample_size=256, seed=0), max_regions=64
+    )
+    return estimator.fit(table)
+
+
+class TestConstruction:
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            FeedbackAdaptiveEstimator(learning_rate=1.5)
+        with pytest.raises(InvalidParameterError):
+            FeedbackAdaptiveEstimator(max_regions=0)
+        with pytest.raises(InvalidParameterError):
+            FeedbackAdaptiveEstimator(recency_halflife=0)
+        with pytest.raises(InvalidParameterError):
+            FeedbackAdaptiveEstimator(bias_learning_rate=-0.1)
+
+    def test_feedback_before_fit_raises(self) -> None:
+        with pytest.raises(NotFittedError):
+            FeedbackAdaptiveEstimator().feedback(RangeQuery({"x0": (0, 1)}), 0.5)
+
+    def test_default_base_is_kde(self) -> None:
+        assert isinstance(FeedbackAdaptiveEstimator().base, KDESelectivityEstimator)
+
+
+class TestFeedbackBehaviour:
+    def test_no_feedback_matches_base(self, table: Table, fitted: FeedbackAdaptiveEstimator) -> None:
+        query = RangeQuery({"x0": (0.0, 3.0), "x1": (0.0, 3.0)})
+        assert fitted.estimate(query) == pytest.approx(fitted.base.estimate(query), rel=1e-9)
+
+    def test_exact_repeat_query_moves_towards_truth(
+        self, table: Table, fitted: FeedbackAdaptiveEstimator
+    ) -> None:
+        query = RangeQuery({"x0": (0.0, 2.0), "x1": (0.0, 2.0)})
+        truth = table.true_selectivity(query)
+        before = abs(fitted.estimate(query) - truth)
+        fitted.feedback(query, truth)
+        after = abs(fitted.estimate(query) - truth)
+        assert after <= before + 1e-12
+
+    def test_feedback_count_and_record_bound(self, table: Table) -> None:
+        estimator = FeedbackAdaptiveEstimator(
+            base=KDESelectivityEstimator(sample_size=128), max_regions=10
+        ).fit(table)
+        workload = SkewedWorkload(table, volume_fraction=0.1, seed=1).generate(25)
+        for query in workload:
+            estimator.feedback(query, table.true_selectivity(query))
+        assert estimator.feedback_count == 25
+        assert estimator.record_count <= 10
+
+    def test_invalid_truth_raises(self, fitted: FeedbackAdaptiveEstimator) -> None:
+        with pytest.raises(InvalidParameterError):
+            fitted.feedback(RangeQuery({"x0": (0, 1), "x1": (0, 1)}), 1.5)
+
+    def test_memory_grows_with_records(self, table: Table, fitted: FeedbackAdaptiveEstimator) -> None:
+        before = fitted.memory_bytes()
+        query = RangeQuery({"x0": (0.0, 1.0), "x1": (0.0, 1.0)})
+        fitted.feedback(query, table.true_selectivity(query))
+        assert fitted.memory_bytes() > before
+
+    def test_feedback_improves_hot_region_accuracy(self, table: Table) -> None:
+        hot = SkewedWorkload(
+            table, volume_fraction=0.1, hot_fraction=0.25, hot_probability=1.0, seed=3
+        )
+        feedback_queries = hot.generate(150)
+        holdout = SkewedWorkload(
+            table, volume_fraction=0.1, hot_fraction=0.25, hot_probability=1.0, seed=4
+        ).generate(60)
+        estimator = FeedbackAdaptiveEstimator(
+            base=KDESelectivityEstimator(sample_size=128, seed=0), max_regions=256
+        ).fit(table)
+        before = evaluate_estimator(table, estimator, holdout).mean_q_error()
+        for query in feedback_queries:
+            estimator.feedback(query, table.true_selectivity(query))
+        after = evaluate_estimator(table, estimator, holdout).mean_q_error()
+        assert after <= before
+
+    def test_estimates_remain_valid_fractions(self, table: Table, fitted) -> None:
+        workload = SkewedWorkload(table, volume_fraction=0.15, seed=5).generate(40)
+        for query in workload:
+            fitted.feedback(query, table.true_selectivity(query))
+        for query in workload:
+            assert 0.0 <= fitted.estimate(query) <= 1.0
+
+    def test_bias_correction_counteracts_systematic_error(self, table: Table) -> None:
+        # Feed back "empty" truths for regions the base model thinks are
+        # populated: the global bias correction must learn a positive log-bias
+        # and scale down the estimate of a fresh, disjoint query.
+        estimator = FeedbackAdaptiveEstimator(
+            base=KDESelectivityEstimator(sample_size=256, seed=0),
+            bias_learning_rate=0.3,
+            learning_rate=1.0,
+        ).fit(table)
+        domain = table.domain()
+        (x_low, x_high), (y_low, y_high) = domain["x0"], domain["x1"]
+        x_step = (x_high - x_low) / 12
+        feedback_queries = [
+            RangeQuery({"x0": (x_low + i * x_step, x_low + (i + 1) * x_step), "x1": (y_low, y_high)})
+            for i in range(8)
+        ]
+        for query in feedback_queries:
+            estimator.feedback(query, 0.0)  # pretend these slices are empty
+        fresh = RangeQuery(
+            {"x0": (x_low + 10 * x_step, x_low + 11 * x_step), "x1": (y_low, y_high)}
+        )
+        assert estimator._log_bias > 0
+        assert estimator.estimate(fresh) < estimator.base.estimate(fresh)
+
+
+class TestFeedbackRecord:
+    def test_log_ratio_sign(self) -> None:
+        lows = np.zeros(1)
+        highs = np.ones(1)
+        underestimate = FeedbackRecord(lows, highs, true_fraction=0.5, base_estimate=0.1)
+        overestimate = FeedbackRecord(lows, highs, true_fraction=0.1, base_estimate=0.5)
+        assert underestimate.log_ratio > 0
+        assert overestimate.log_ratio < 0
+
+    def test_registry_name(self) -> None:
+        assert FeedbackAdaptiveEstimator.name == "feedback_ade"

@@ -1,0 +1,138 @@
+"""Unit tests for the smoothing kernels."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.core.errors import InvalidParameterError
+from repro.core.kernels import (
+    KERNELS,
+    BiweightKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    Kernel,
+    TriangularKernel,
+    UniformKernel,
+    get_kernel,
+)
+
+ALL_KERNELS = [cls() for cls in KERNELS.values()]
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+class TestKernelContracts:
+    """Properties every kernel must satisfy."""
+
+    def test_pdf_nonnegative(self, kernel: Kernel) -> None:
+        u = np.linspace(-5, 5, 401)
+        assert np.all(kernel.pdf(u) >= 0.0)
+
+    def test_pdf_symmetric(self, kernel: Kernel) -> None:
+        u = np.linspace(0, 5, 101)
+        np.testing.assert_allclose(kernel.pdf(u), kernel.pdf(-u), atol=1e-12)
+
+    def test_pdf_integrates_to_one(self, kernel: Kernel) -> None:
+        radius = kernel.support_radius if math.isfinite(kernel.support_radius) else 10.0
+        value, _ = integrate.quad(lambda x: float(kernel.pdf(np.array([x]))[0]), -radius, radius)
+        assert value == pytest.approx(1.0, abs=1e-6)
+
+    def test_cdf_monotone_and_bounded(self, kernel: Kernel) -> None:
+        u = np.linspace(-6, 6, 301)
+        cdf = kernel.cdf(u)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert np.all(cdf >= -1e-12)
+        assert np.all(cdf <= 1.0 + 1e-12)
+
+    def test_cdf_limits(self, kernel: Kernel) -> None:
+        assert kernel.cdf(np.array([-100.0]))[0] == pytest.approx(0.0, abs=1e-9)
+        assert kernel.cdf(np.array([100.0]))[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_cdf_at_zero_is_half(self, kernel: Kernel) -> None:
+        assert kernel.cdf(np.array([0.0]))[0] == pytest.approx(0.5, abs=1e-12)
+
+    def test_cdf_matches_numeric_integral_of_pdf(self, kernel: Kernel) -> None:
+        radius = kernel.support_radius if math.isfinite(kernel.support_radius) else 8.0
+        for upper in (-0.7, 0.0, 0.4, 0.9):
+            numeric, _ = integrate.quad(
+                lambda x: float(kernel.pdf(np.array([x]))[0]), -radius, upper
+            )
+            assert kernel.cdf(np.array([upper]))[0] == pytest.approx(numeric, abs=1e-6)
+
+    def test_interval_mass_full_support(self, kernel: Kernel) -> None:
+        mass = kernel.interval_mass(np.array([-50.0]), np.array([50.0]))
+        assert mass[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_interval_mass_empty_interval(self, kernel: Kernel) -> None:
+        mass = kernel.interval_mass(np.array([0.3]), np.array([0.3]))
+        assert mass[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_interval_mass_additivity(self, kernel: Kernel) -> None:
+        left = kernel.interval_mass(np.array([-2.0]), np.array([0.1]))[0]
+        right = kernel.interval_mass(np.array([0.1]), np.array([2.0]))[0]
+        total = kernel.interval_mass(np.array([-2.0]), np.array([2.0]))[0]
+        assert left + right == pytest.approx(total, abs=1e-9)
+
+    def test_variance_matches_numeric_second_moment(self, kernel: Kernel) -> None:
+        radius = kernel.support_radius if math.isfinite(kernel.support_radius) else 12.0
+        value, _ = integrate.quad(
+            lambda x: x * x * float(kernel.pdf(np.array([x]))[0]), -radius, radius
+        )
+        assert kernel.variance == pytest.approx(value, rel=1e-4)
+
+    def test_roughness_matches_numeric_integral(self, kernel: Kernel) -> None:
+        radius = kernel.support_radius if math.isfinite(kernel.support_radius) else 12.0
+        value, _ = integrate.quad(
+            lambda x: float(kernel.pdf(np.array([x]))[0]) ** 2, -radius, radius
+        )
+        assert kernel.roughness == pytest.approx(value, rel=1e-4)
+
+    def test_compact_kernels_vanish_outside_support(self, kernel: Kernel) -> None:
+        if not math.isfinite(kernel.support_radius):
+            pytest.skip("unbounded support")
+        outside = np.array([kernel.support_radius + 0.01, -kernel.support_radius - 0.01])
+        np.testing.assert_allclose(kernel.pdf(outside), 0.0, atol=1e-12)
+
+
+class TestKernelRegistry:
+    def test_get_kernel_by_name(self) -> None:
+        assert isinstance(get_kernel("gaussian"), GaussianKernel)
+        assert isinstance(get_kernel("epanechnikov"), EpanechnikovKernel)
+        assert isinstance(get_kernel("biweight"), BiweightKernel)
+        assert isinstance(get_kernel("triangular"), TriangularKernel)
+        assert isinstance(get_kernel("uniform"), UniformKernel)
+
+    def test_get_kernel_passthrough(self) -> None:
+        kernel = EpanechnikovKernel()
+        assert get_kernel(kernel) is kernel
+
+    def test_get_kernel_unknown_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            get_kernel("not-a-kernel")
+
+    def test_registry_names_match_instances(self) -> None:
+        for name, cls in KERNELS.items():
+            assert cls().name == name
+
+    def test_kernel_equality_by_type(self) -> None:
+        assert GaussianKernel() == GaussianKernel()
+        assert GaussianKernel() != EpanechnikovKernel()
+        assert hash(GaussianKernel()) == hash(GaussianKernel())
+
+
+class TestKernelConstants:
+    def test_gaussian_roughness_value(self) -> None:
+        assert GaussianKernel().roughness == pytest.approx(1.0 / (2.0 * math.sqrt(math.pi)))
+
+    def test_epanechnikov_is_most_efficient(self) -> None:
+        epan = EpanechnikovKernel()
+        assert epan.efficiency() == pytest.approx(1.0)
+        for kernel in ALL_KERNELS:
+            assert kernel.efficiency() <= 1.0 + 1e-12
+
+    def test_canonical_bandwidth_factor_positive(self) -> None:
+        for kernel in ALL_KERNELS:
+            assert kernel.canonical_bandwidth_factor > 0

@@ -1,0 +1,92 @@
+"""Unit tests for the drifting data streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.data.streams import (
+    DataStream,
+    gradual_drift_stream,
+    stationary_stream,
+    sudden_drift_stream,
+)
+
+
+class TestDataStream:
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            DataStream(0, 10, 10, lambda i, r: np.zeros((10, 1)))
+        with pytest.raises(InvalidParameterError):
+            DataStream(1, 0, 10, lambda i, r: np.zeros((0, 1)))
+        with pytest.raises(InvalidParameterError):
+            DataStream(1, 10, 0, lambda i, r: np.zeros((10, 1)))
+
+    def test_batch_shapes_and_count(self) -> None:
+        stream = stationary_stream(dimensions=2, batch_size=50, batches=7, seed=1)
+        batches = list(stream)
+        assert len(batches) == 7
+        for batch in batches:
+            assert batch.shape == (50, 2)
+        assert stream.total_rows == 350
+        assert stream.column_names == ["x0", "x1"]
+
+    def test_materialize_matches_iteration(self) -> None:
+        stream = stationary_stream(dimensions=1, batch_size=20, batches=5, seed=2)
+        assert stream.materialize().shape == (100, 1)
+
+    def test_reproducible_given_seed(self) -> None:
+        a = stationary_stream(batch_size=30, batches=3, seed=3).materialize()
+        b = stationary_stream(batch_size=30, batches=3, seed=3).materialize()
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_generator_shape_raises(self) -> None:
+        stream = DataStream(1, 10, 2, lambda i, r: np.zeros((5, 1)))
+        with pytest.raises(InvalidParameterError):
+            list(stream)
+
+
+class TestStationary:
+    def test_first_and_last_batches_similar(self) -> None:
+        stream = stationary_stream(batch_size=2000, batches=10, seed=4)
+        batches = list(stream)
+        assert np.mean(batches[0]) == pytest.approx(np.mean(batches[-1]), abs=0.5)
+
+
+class TestSuddenDrift:
+    def test_distribution_shifts_at_breakpoint(self) -> None:
+        stream = sudden_drift_stream(
+            batch_size=1000, batches=10, drift_at=(0.5,), shift=10.0, seed=5
+        )
+        batches = list(stream)
+        before = float(np.mean(batches[0]))
+        after = float(np.mean(batches[-1]))
+        assert after - before == pytest.approx(10.0, abs=1.5)
+
+    def test_multiple_breakpoints(self) -> None:
+        stream = sudden_drift_stream(
+            batch_size=500, batches=9, drift_at=(1 / 3, 2 / 3), shift=5.0, seed=6
+        )
+        batches = list(stream)
+        first = float(np.mean(batches[0]))
+        middle = float(np.mean(batches[4]))
+        last = float(np.mean(batches[-1]))
+        assert middle - first == pytest.approx(5.0, abs=1.5)
+        assert last - first == pytest.approx(10.0, abs=1.5)
+
+    def test_invalid_breakpoint_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            sudden_drift_stream(drift_at=(1.5,))
+
+
+class TestGradualDrift:
+    def test_distribution_moves_continuously(self) -> None:
+        stream = gradual_drift_stream(batch_size=1000, batches=11, total_shift=10.0, seed=7)
+        batches = list(stream)
+        means = [float(np.mean(b)) for b in batches]
+        assert means[-1] - means[0] == pytest.approx(10.0, abs=1.5)
+        assert means[5] - means[0] == pytest.approx(5.0, abs=1.5)
+        # Monotone (up to sampling noise) rather than a single jump.
+        diffs = np.diff(means)
+        assert np.mean(diffs > -0.5) > 0.8

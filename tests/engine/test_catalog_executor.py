@@ -1,0 +1,149 @@
+"""Unit tests for the catalog and the exact-execution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.histogram import EquiDepthHistogram
+from repro.core.errors import CatalogError
+from repro.core.feedback import FeedbackAdaptiveEstimator
+from repro.core.kde import KDESelectivityEstimator
+from repro.data.generators import gaussian_mixture_table, uniform_table
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor, evaluate_estimator
+from repro.engine.table import Table
+from repro.workload.generators import UniformWorkload
+from repro.workload.queries import RangeQuery
+
+
+@pytest.fixture()
+def catalog(small_table: Table) -> Catalog:
+    catalog = Catalog()
+    catalog.add_table(small_table)
+    return catalog
+
+
+class TestCatalog:
+    def test_add_and_lookup(self, catalog: Catalog, small_table: Table) -> None:
+        assert catalog.table("small") is small_table
+        assert "small" in catalog
+        assert len(catalog) == 1
+        assert catalog.table_names() == ["small"]
+
+    def test_unknown_table_raises(self, catalog: Catalog) -> None:
+        with pytest.raises(CatalogError):
+            catalog.table("missing")
+        with pytest.raises(CatalogError):
+            catalog.estimator("missing")
+
+    def test_attach_estimator_fits_it(self, catalog: Catalog) -> None:
+        estimator = EquiDepthHistogram(buckets=16)
+        returned = catalog.attach_estimator("small", estimator)
+        assert returned is estimator
+        assert estimator.is_fitted
+        assert catalog.estimator("small") is estimator
+
+    def test_estimate_without_synopsis_is_exact(self, catalog: Catalog, small_table: Table) -> None:
+        query = RangeQuery({"x0": (0.0, 0.5)})
+        assert catalog.estimate_selectivity("small", query) == small_table.true_selectivity(query)
+
+    def test_estimate_with_synopsis(self, catalog: Catalog, small_table: Table) -> None:
+        catalog.attach_estimator("small", EquiDepthHistogram(buckets=32))
+        query = RangeQuery({"x0": (0.0, 0.5)})
+        estimate = catalog.estimate_selectivity("small", query)
+        assert estimate == pytest.approx(small_table.true_selectivity(query), abs=0.05)
+        cardinality = catalog.estimate_cardinality("small", query)
+        assert cardinality == pytest.approx(estimate * small_table.row_count)
+
+    def test_detach_estimator(self, catalog: Catalog) -> None:
+        catalog.attach_estimator("small", EquiDepthHistogram(buckets=8))
+        catalog.detach_estimator("small")
+        assert catalog.estimator("small") is None
+
+    def test_refresh_refits_after_append(self) -> None:
+        table = uniform_table(2000, dimensions=1, seed=1, name="grow")
+        catalog = Catalog()
+        catalog.add_table(table)
+        estimator = catalog.attach_estimator("grow", EquiDepthHistogram(buckets=16))
+        assert estimator.row_count == 2000
+        table.append_matrix(np.random.default_rng(2).uniform(size=(500, 1)))
+        catalog.refresh("grow")
+        assert estimator.row_count == 2500
+
+    def test_describe(self, catalog: Catalog) -> None:
+        catalog.attach_estimator("small", EquiDepthHistogram(buckets=8))
+        description = catalog.describe()
+        assert "small" in description
+        assert description["small"]["rows"] == 2000
+        assert description["small"]["estimator"]["name"] == "equidepth"
+
+
+class TestExecutor:
+    def test_execute_returns_exact_counts(self, small_table: Table) -> None:
+        executor = Executor(small_table)
+        query = RangeQuery({"x0": (0.0, 0.25)})
+        result = executor.execute(query)
+        assert result.true_count == small_table.true_count(query)
+        assert result.true_fraction == pytest.approx(small_table.true_selectivity(query))
+        assert result.estimated_fraction is None
+        assert executor.executed == 1
+
+    def test_execute_records_estimate(self, small_table: Table) -> None:
+        executor = Executor(small_table)
+        estimator = KDESelectivityEstimator(sample_size=100).fit(small_table)
+        result = executor.execute(RangeQuery({"x0": (0.0, 0.5)}), estimator)
+        assert result.estimated_fraction is not None
+        assert result.estimated_count == pytest.approx(
+            result.estimated_fraction * small_table.row_count
+        )
+
+    def test_execute_with_feedback_updates_estimator(self) -> None:
+        table = gaussian_mixture_table(4000, dimensions=1, components=3, seed=51)
+        executor = Executor(table)
+        estimator = FeedbackAdaptiveEstimator(
+            base=KDESelectivityEstimator(sample_size=128)
+        ).fit(table)
+        query = RangeQuery({"x0": (0.0, 2.0)})
+        executor.execute_with_feedback(query, estimator)
+        assert estimator.feedback_count == 1
+
+    def test_run_workload_with_feedback_flag(self) -> None:
+        table = gaussian_mixture_table(4000, dimensions=1, components=3, seed=52)
+        executor = Executor(table)
+        estimator = FeedbackAdaptiveEstimator(
+            base=KDESelectivityEstimator(sample_size=128)
+        ).fit(table)
+        workload = UniformWorkload(table, volume_fraction=0.1, seed=1).generate(10)
+        results = executor.run_workload(workload, estimator, feedback=True)
+        assert len(results) == 10
+        assert estimator.feedback_count == 10
+
+    def test_run_workload_without_feedback(self, small_table: Table) -> None:
+        executor = Executor(small_table)
+        workload = UniformWorkload(small_table, volume_fraction=0.1, seed=2).generate(5)
+        results = executor.run_workload(workload)
+        assert len(results) == 5
+        assert all(r.estimated_fraction is None for r in results)
+
+
+class TestEvaluateEstimator:
+    def test_shapes_and_metrics(self, small_table: Table) -> None:
+        estimator = EquiDepthHistogram(buckets=32).fit(small_table)
+        workload = UniformWorkload(small_table, volume_fraction=0.2, seed=3).generate(40)
+        result = evaluate_estimator(small_table, estimator, workload)
+        assert result.query_count == 40
+        assert result.estimates.shape == (40,)
+        assert result.truths.shape == (40,)
+        assert result.memory_bytes == estimator.memory_bytes()
+        assert result.queries_per_second > 0
+        summaries = result.summaries()
+        assert set(summaries) == {"absolute", "relative", "q"}
+        assert result.mean_relative_error() >= 0
+        assert result.mean_q_error() >= 1.0
+
+    def test_estimator_name_override(self, small_table: Table) -> None:
+        estimator = EquiDepthHistogram(buckets=8).fit(small_table)
+        result = evaluate_estimator(small_table, estimator, [], name="custom")
+        assert result.estimator_name == "custom"
+        assert result.query_count == 0

@@ -1,0 +1,96 @@
+"""Unit tests for the toy cost-based join-order optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.independence import IndependenceEstimator
+from repro.core.errors import CatalogError, InvalidParameterError
+from repro.data.generators import uniform_table, zipf_table
+from repro.engine.catalog import Catalog
+from repro.engine.optimizer import JoinSpec, Optimizer, plan_regret
+from repro.workload.queries import RangeQuery
+
+
+@pytest.fixture()
+def star_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.add_table(uniform_table(50_000, dimensions=1, seed=1, name="fact", column_names=["m"]))
+    catalog.add_table(zipf_table(5_000, dimensions=1, theta=1.0, seed=2, name="dim_a", column_names=["a"]))
+    catalog.add_table(uniform_table(2_000, dimensions=1, seed=3, name="dim_b", column_names=["b"]))
+    return catalog
+
+
+@pytest.fixture()
+def spec() -> JoinSpec:
+    return JoinSpec(
+        tables=("fact", "dim_a", "dim_b"),
+        filters={
+            "fact": RangeQuery({"m": (0.0, 0.5)}),
+            "dim_a": RangeQuery({"a": (0.0, 100.0)}),
+            "dim_b": RangeQuery({"b": (0.0, 0.1)}),
+        },
+        join_selectivities={
+            frozenset(("fact", "dim_a")): 1.0 / 5000,
+            frozenset(("fact", "dim_b")): 1.0 / 2000,
+            frozenset(("dim_a", "dim_b")): 1.0,
+        },
+    )
+
+
+class TestJoinSpec:
+    def test_invalid_specs(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            JoinSpec(("a",), {}, {})
+        with pytest.raises(InvalidParameterError):
+            JoinSpec(("a", "a"), {}, {})
+        with pytest.raises(InvalidParameterError):
+            JoinSpec(("a", "b"), {}, {frozenset(("a", "b")): 2.0})
+        with pytest.raises(InvalidParameterError):
+            JoinSpec(("a", "b"), {}, {frozenset(("a",)): 0.5})
+
+    def test_join_selectivity_lookup(self, spec: JoinSpec) -> None:
+        assert spec.join_selectivity("fact", "dim_a") == pytest.approx(1.0 / 5000)
+        assert spec.join_selectivity("dim_a", "fact") == pytest.approx(1.0 / 5000)
+        other = JoinSpec(("a", "b"), {}, {}, default_join_selectivity=0.5)
+        assert other.join_selectivity("a", "b") == 0.5
+
+
+class TestOptimizer:
+    def test_enumerates_all_left_deep_orders(self, star_catalog: Catalog, spec: JoinSpec) -> None:
+        plans = Optimizer(star_catalog).enumerate_plans(spec)
+        assert len(plans) == 6  # 3! permutations
+        orders = {plan.order for plan in plans}
+        assert len(orders) == 6
+
+    def test_unknown_table_raises(self, star_catalog: Catalog) -> None:
+        bad = JoinSpec(("fact", "ghost"), {}, {})
+        with pytest.raises(CatalogError):
+            Optimizer(star_catalog).enumerate_plans(bad)
+
+    def test_best_plan_minimises_cost(self, star_catalog: Catalog, spec: JoinSpec) -> None:
+        optimizer = Optimizer(star_catalog)
+        best = optimizer.best_plan(spec, use_estimates=False)
+        for plan in optimizer.enumerate_plans(spec, use_estimates=False):
+            assert best.true_cost <= plan.true_cost + 1e-9
+
+    def test_exact_estimates_give_no_regret(self, star_catalog: Catalog, spec: JoinSpec) -> None:
+        # No synopsis attached: the catalog answers with exact selectivities.
+        assert plan_regret(Optimizer(star_catalog), spec) == pytest.approx(1.0)
+
+    def test_regret_at_least_one(self, star_catalog: Catalog, spec: JoinSpec) -> None:
+        for table_name in star_catalog.table_names():
+            star_catalog.attach_estimator(table_name, IndependenceEstimator())
+        regret = plan_regret(Optimizer(star_catalog), spec)
+        assert regret >= 1.0 - 1e-9
+
+    def test_plan_str_mentions_tables(self, star_catalog: Catalog, spec: JoinSpec) -> None:
+        plan = Optimizer(star_catalog).best_plan(spec)
+        assert "fact" in str(plan)
+
+    def test_filters_reduce_cost(self, star_catalog: Catalog, spec: JoinSpec) -> None:
+        optimizer = Optimizer(star_catalog)
+        unfiltered = JoinSpec(spec.tables, {}, dict(spec.join_selectivities))
+        filtered_cost = optimizer.best_plan(spec, use_estimates=False).true_cost
+        unfiltered_cost = optimizer.best_plan(unfiltered, use_estimates=False).true_cost
+        assert filtered_cost < unfiltered_cost

@@ -1,0 +1,144 @@
+"""Tests for the experiment harness (runner and suite) at reduced scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.histogram import EquiDepthHistogram
+from repro.core.kde import KDESelectivityEstimator
+from repro.data.generators import gaussian_mixture_table
+from repro.experiments.runner import (
+    EstimatorSpec,
+    SeriesResult,
+    TableResult,
+    fit_timed,
+    run_accuracy_comparison,
+)
+from repro.experiments.suite import (
+    fig3_query_volume,
+    fig5_drift,
+    fig6_feedback,
+    fig7_bandwidth_ablation,
+    fig8_optimizer_impact,
+    table1_accuracy_1d,
+    table3_cost,
+    table4_stream_cost,
+)
+from repro.workload.generators import UniformWorkload
+
+
+class TestRunner:
+    def test_estimator_spec_builds_fresh_instances(self) -> None:
+        spec = EstimatorSpec("kde", lambda: KDESelectivityEstimator(sample_size=32))
+        first = spec.build()
+        second = spec.build()
+        assert first is not second
+        assert not first.is_fitted
+
+    def test_fit_timed(self, small_table) -> None:
+        estimator = EquiDepthHistogram(buckets=8)
+        elapsed = fit_timed(estimator, small_table)
+        assert elapsed >= 0.0
+        assert estimator.is_fitted
+
+    def test_run_accuracy_comparison(self, small_table) -> None:
+        specs = [
+            EstimatorSpec("hist", lambda: EquiDepthHistogram(buckets=16)),
+            EstimatorSpec("kde", lambda: KDESelectivityEstimator(sample_size=64)),
+        ]
+        queries = UniformWorkload(small_table, volume_fraction=0.2, seed=1).generate(10)
+        results = run_accuracy_comparison(small_table, specs, queries)
+        assert set(results) == {"hist", "kde"}
+        for result in results.values():
+            assert result.query_count == 10
+
+    def test_table_result_helpers(self) -> None:
+        result = TableResult("t", ["name", "value"], [["a", 1.0], ["b", 2.0]])
+        assert result.column("value") == [1.0, 2.0]
+        assert result.row_by("name", "b") == ["b", 2.0]
+        assert result.row_by("name", "zzz") is None
+        assert "t" in result.render()
+
+    def test_series_result_helpers(self) -> None:
+        result = SeriesResult("f", "x", [1, 2])
+        result.add_point("s", 0.5)
+        result.add_point("s", 0.7)
+        assert result.series["s"] == [0.5, 0.7]
+        assert "0.7" in result.render(precision=1)
+
+
+class TestSuiteSmallScale:
+    """Each experiment callable runs end to end at toy scale and has sane output."""
+
+    def test_table1(self) -> None:
+        result = table1_accuracy_1d(rows=1500, queries=15, budget_bytes=2048)
+        assert len(result.rows) == 3 * 9  # datasets × estimator line-up
+        labels = set(result.column("estimator"))
+        assert {"ade_adaptive", "ade_streaming", "equidepth", "sampling"}.issubset(labels)
+        for value in result.column("rel_err_mean"):
+            assert value >= 0.0
+
+    def test_table3_reports_costs(self) -> None:
+        result = table3_cost(rows=2000, queries=15, budget_bytes=2048, dimensions=2)
+        assert all(row[1] >= 0 for row in result.rows)  # build seconds
+        assert all(row[2] > 0 for row in result.rows)  # throughput
+        assert all(row[3] > 0 for row in result.rows)  # bytes
+
+    def test_table4_budget_column(self) -> None:
+        result = table4_stream_cost(
+            stream_rows=2000, batch_size=500, budgets=(16, 32), queries=10
+        )
+        assert set(result.column("budget")) == {16, 32}
+
+    def test_fig3_series_lengths_match(self) -> None:
+        result = fig3_query_volume(rows=1500, queries=15, volumes=(0.01, 0.1))
+        for series in result.series.values():
+            assert len(series) == 2
+
+    def test_fig5_drift_structure(self) -> None:
+        result = fig5_drift(
+            batches=12, batch_size=100, queries=10, budget=32,
+            reference_window=400, evaluate_every=4,
+        )
+        assert result.x_values  # at least one evaluation point
+        assert "ade_decayed" in result.series
+        assert "static_kde" in result.series
+
+    def test_fig6_feedback_improves(self) -> None:
+        result = fig6_feedback(rows=2500, feedback_steps=(0, 60), holdout_queries=30)
+        feedback_series = result.series["feedback_ade"]
+        static_series = result.series["static_kde"]
+        # With feedback the error after 60 observations is no worse than at 0,
+        # while the static baseline stays constant by construction.
+        assert feedback_series[-1] <= feedback_series[0] * 1.1
+        assert static_series[0] == pytest.approx(static_series[-1])
+
+    def test_fig7_contains_all_rules(self) -> None:
+        result = fig7_bandwidth_ablation(rows=1500, queries=20, sample_size=128)
+        rules = set(result.column("rule"))
+        assert {"scott", "silverman", "lscv", "mlcv", "adaptive_scott", "adaptive_lscv"} == rules
+        for bandwidth in result.column("bandwidth"):
+            assert bandwidth > 0
+
+    def test_fig8_true_selectivity_has_unit_regret(self) -> None:
+        result = fig8_optimizer_impact(fact_rows=3000, dimension_rows=800, trials=3)
+        true_row = result.row_by("estimator", "true_selectivity")
+        assert true_row is not None
+        assert true_row[1] == pytest.approx(1.0)
+        for row in result.rows:
+            assert row[1] >= 1.0 - 1e-9  # mean regret can never beat the optimum
+
+
+class TestBudgetedSpecs:
+    def test_memory_budgets_are_roughly_respected(self) -> None:
+        from repro.core.estimator import FLOAT_BYTES
+        from repro.experiments.suite import _budgeted_specs
+
+        table = gaussian_mixture_table(3000, dimensions=2, seed=5)
+        budget = 4096
+        for spec in _budgeted_specs(budget, dimensions=2):
+            estimator = spec.build()
+            estimator.fit(table)
+            if spec.label == "independence":
+                continue  # deliberately tiny
+            assert estimator.memory_bytes() <= budget * 1.5 + 16 * FLOAT_BYTES, spec.label

@@ -1,0 +1,126 @@
+"""Unit tests for error metrics and report rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.metrics.errors import (
+    ErrorSummary,
+    absolute_errors,
+    evaluate_estimates,
+    integrated_squared_error,
+    q_errors,
+    relative_errors,
+    summarize_errors,
+)
+from repro.metrics.report import format_number, render_series, render_table
+
+
+class TestErrorFunctions:
+    def test_absolute_errors(self) -> None:
+        np.testing.assert_allclose(
+            absolute_errors([0.1, 0.5], [0.2, 0.5]), [0.1, 0.0], atol=1e-12
+        )
+
+    def test_relative_errors_with_floor(self) -> None:
+        errors = relative_errors([0.2], [0.1])
+        assert errors[0] == pytest.approx(1.0)
+        floored = relative_errors([0.1], [0.0], floor=0.01)
+        assert floored[0] == pytest.approx(10.0)
+
+    def test_q_errors_symmetric_and_at_least_one(self) -> None:
+        over = q_errors([0.2], [0.1])
+        under = q_errors([0.1], [0.2])
+        assert over[0] == pytest.approx(under[0]) == pytest.approx(2.0)
+        assert q_errors([0.3], [0.3])[0] == pytest.approx(1.0)
+
+    def test_q_error_with_zero_truth_uses_floor(self) -> None:
+        assert q_errors([0.01], [0.0], floor=0.001)[0] == pytest.approx(10.0)
+
+    def test_length_mismatch_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            absolute_errors([0.1], [0.1, 0.2])
+
+    def test_invalid_floor_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            relative_errors([0.1], [0.1], floor=0.0)
+        with pytest.raises(InvalidParameterError):
+            q_errors([0.1], [0.1], floor=-1.0)
+
+    def test_integrated_squared_error(self) -> None:
+        grid_step = 0.01
+        estimated = np.full(100, 1.0)
+        truth = np.full(100, 0.5)
+        assert integrated_squared_error(estimated, truth, grid_step) == pytest.approx(0.25)
+
+    def test_ise_validation(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            integrated_squared_error(np.ones(5), np.ones(6), 0.1)
+        with pytest.raises(InvalidParameterError):
+            integrated_squared_error(np.ones(5), np.ones(5), 0.0)
+
+
+class TestSummaries:
+    def test_summary_statistics(self) -> None:
+        errors = np.arange(1, 101, dtype=float)
+        summary = summarize_errors(errors)
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.median == pytest.approx(50.5)
+        assert summary.maximum == 100.0
+        assert summary.p90 >= summary.median
+        assert summary.p99 >= summary.p95 >= summary.p90
+        assert "mean" in str(summary)
+
+    def test_empty_summary_is_nan(self) -> None:
+        summary = summarize_errors([])
+        assert summary.count == 0
+        assert np.isnan(summary.mean)
+
+    def test_as_dict_round_trip(self) -> None:
+        summary = summarize_errors([1.0, 2.0, 3.0])
+        data = summary.as_dict()
+        assert data["count"] == 3
+        assert data["mean"] == pytest.approx(2.0)
+
+    def test_evaluate_estimates_keys(self) -> None:
+        result = evaluate_estimates([0.1, 0.2], [0.1, 0.3])
+        assert set(result) == {"absolute", "relative", "q"}
+        assert all(isinstance(v, ErrorSummary) for v in result.values())
+
+
+class TestReportRendering:
+    def test_format_number(self) -> None:
+        assert format_number(3) == "3"
+        assert format_number(0.5, precision=2) == "0.50"
+        assert format_number(float("nan")) == "nan"
+        assert format_number(1.5e7) == "1.5000e+07"
+        assert format_number("text") == "text"
+        assert format_number(True) == "True"
+
+    def test_render_table_alignment(self) -> None:
+        text = render_table(["name", "value"], [["a", 1.0], ["bbbb", 22.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert len(lines) == 6
+        # All rows have the same rendered width.
+        assert len(set(len(line) for line in lines[2:])) <= 2
+
+    def test_render_table_without_title(self) -> None:
+        text = render_table(["a"], [[1]])
+        assert text.splitlines()[0].startswith("a")
+
+    def test_render_series(self) -> None:
+        text = render_series(
+            "x", [1, 2], {"alpha": [0.1, 0.2], "beta": [0.3, 0.4]}, title="Fig"
+        )
+        assert "alpha" in text
+        assert "beta" in text
+        assert "0.4000" in text
+
+    def test_render_series_with_missing_points(self) -> None:
+        text = render_series("x", [1, 2, 3], {"s": [0.1]})
+        assert "nan" in text

@@ -1,0 +1,189 @@
+"""Integration tests: several subsystems working together end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    AdaptiveKDEEstimator,
+    Catalog,
+    EquiDepthHistogram,
+    Executor,
+    FeedbackAdaptiveEstimator,
+    IndependenceEstimator,
+    JoinSpec,
+    KDESelectivityEstimator,
+    Optimizer,
+    RangeQuery,
+    ReservoirSamplingEstimator,
+    SkewedWorkload,
+    StreamingADE,
+    Table,
+    UniformWorkload,
+    evaluate_estimator,
+    gaussian_mixture_table,
+    plan_regret,
+    sudden_drift_stream,
+    uniform_table,
+    zipf_table,
+)
+
+
+class TestPublicApi:
+    def test_version_and_exports(self) -> None:
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_registry_covers_all_synopses(self) -> None:
+        assert len(repro.available_estimators()) >= 12
+
+
+class TestEndToEndAccuracy:
+    """At realistic scale the adaptive estimators must beat the weak baselines."""
+
+    def test_streaming_ade_beats_avi_on_correlated_data(self) -> None:
+        table = repro.correlated_table(20_000, dimensions=2, correlation=0.85, seed=61)
+        workload = UniformWorkload(table, volume_fraction=0.25, seed=62).generate(150)
+        ade = StreamingADE(max_kernels=256).fit(table)
+        avi = EquiDepthHistogram(buckets=64).fit(table)
+        ade_error = evaluate_estimator(table, ade, workload).mean_q_error()
+        avi_error = evaluate_estimator(table, avi, workload).mean_q_error()
+        assert ade_error < avi_error
+
+    def test_adaptive_kde_beats_independence_on_mixture(self) -> None:
+        table = gaussian_mixture_table(20_000, dimensions=2, components=4, separation=4.0, seed=63)
+        workload = UniformWorkload(table, volume_fraction=0.15, seed=64).generate(100)
+        ade = AdaptiveKDEEstimator(sample_size=512, bandwidth_rule="lscv").fit(table)
+        avi = IndependenceEstimator().fit(table)
+        assert (
+            evaluate_estimator(table, ade, workload).mean_q_error()
+            < evaluate_estimator(table, avi, workload).mean_q_error()
+        )
+
+    def test_all_estimators_reasonable_on_uniform_data(self) -> None:
+        table = uniform_table(30_000, dimensions=1, seed=65)
+        workload = UniformWorkload(table, volume_fraction=0.2, seed=66).generate(80)
+        for name in repro.available_estimators():
+            kwargs = {"max_kernels": 128} if name == "streaming_ade" else {}
+            estimator = repro.create_estimator(name, **kwargs)
+            estimator.fit(table)
+            result = evaluate_estimator(table, estimator, workload)
+            # Uniform 1-D data is the easy case: every synopsis should achieve
+            # a mean q-error well under 2.
+            assert result.mean_q_error() < 2.0, name
+
+
+class TestStreamingPipeline:
+    def test_stream_feeds_estimator_and_table_consistently(self) -> None:
+        stream = sudden_drift_stream(dimensions=2, batch_size=200, batches=20, seed=67)
+        estimator = StreamingADE(max_kernels=128, decay=0.999).start(stream.column_names)
+        reservoir = ReservoirSamplingEstimator(sample_size=256, decay=True).start(
+            stream.column_names
+        )
+        table = Table("stream", {name: np.array([]) for name in stream.column_names})
+        for batch in stream:
+            estimator.insert(batch)
+            reservoir.insert(batch)
+            table.append_matrix(batch, stream.column_names)
+        assert table.row_count == stream.total_rows
+        assert estimator.row_count == stream.total_rows
+        workload = UniformWorkload(table, volume_fraction=0.3, seed=68).generate(40)
+        for estimator_under_test in (estimator, reservoir):
+            result = evaluate_estimator(table, estimator_under_test, workload)
+            assert np.all(result.estimates >= 0.0)
+            assert np.all(result.estimates <= 1.0)
+
+    def test_streaming_matches_batch_fit(self) -> None:
+        table = gaussian_mixture_table(10_000, dimensions=1, components=3, seed=69)
+        streamed = StreamingADE(max_kernels=128, seed=0).start(["x0"])
+        for start in range(0, table.row_count, 1000):
+            streamed.insert(table.column("x0")[start : start + 1000].reshape(-1, 1))
+        batch = StreamingADE(max_kernels=128, seed=0).fit(table)
+        query = RangeQuery({"x0": (0.0, 4.0)})
+        assert streamed.estimate(query) == pytest.approx(batch.estimate(query), abs=1e-9)
+
+
+class TestFeedbackLoop:
+    def test_executor_feedback_improves_workload_accuracy(self) -> None:
+        table = gaussian_mixture_table(15_000, dimensions=2, components=4, separation=4.0, seed=70)
+        executor = Executor(table)
+        estimator = FeedbackAdaptiveEstimator(
+            base=KDESelectivityEstimator(sample_size=256, seed=0), max_regions=512
+        ).fit(table)
+        hot = SkewedWorkload(
+            table, volume_fraction=0.1, hot_probability=1.0, hot_fraction=0.3, seed=71
+        )
+        train = hot.generate(200)
+        holdout = SkewedWorkload(
+            table, volume_fraction=0.1, hot_probability=1.0, hot_fraction=0.3, seed=72
+        ).generate(80)
+        before = evaluate_estimator(table, estimator, holdout).mean_q_error()
+        executor.run_workload(train, estimator, feedback=True)
+        after = evaluate_estimator(table, estimator, holdout).mean_q_error()
+        assert after <= before * 1.05
+        assert estimator.feedback_count == 200
+
+
+class TestCatalogOptimizerIntegration:
+    def test_better_statistics_never_hurt_plan_quality(self) -> None:
+        fact = gaussian_mixture_table(
+            40_000, dimensions=1, components=4, separation=5.0, seed=73, name="fact",
+            column_names=["amount"],
+        )
+        dim_a = zipf_table(4000, dimensions=1, theta=1.2, seed=74, name="dim_a", column_names=["a"])
+        dim_b = uniform_table(1000, dimensions=1, seed=75, name="dim_b", column_names=["b"])
+        spec = JoinSpec(
+            tables=("fact", "dim_a", "dim_b"),
+            filters={
+                "fact": RangeQuery({"amount": (0.0, 2.0)}),
+                "dim_a": RangeQuery({"a": (0.0, 50.0)}),
+                "dim_b": RangeQuery({"b": (0.0, 0.2)}),
+            },
+            join_selectivities={
+                frozenset(("fact", "dim_a")): 1 / 4000,
+                frozenset(("fact", "dim_b")): 1 / 1000,
+                frozenset(("dim_a", "dim_b")): 1.0,
+            },
+        )
+
+        def regret_with(estimator_factory) -> float:
+            catalog = Catalog()
+            for table in (fact, dim_a, dim_b):
+                catalog.add_table(table)
+                if estimator_factory is not None:
+                    catalog.attach_estimator(table.name, estimator_factory())
+            return plan_regret(Optimizer(catalog), spec)
+
+        exact = regret_with(None)
+        with_kde = regret_with(lambda: AdaptiveKDEEstimator(sample_size=512))
+        assert exact == pytest.approx(1.0)
+        assert with_kde >= 1.0 - 1e-9
+        # A well-fed synopsis should essentially recover the optimal plan here.
+        assert with_kde < 2.0
+
+
+class TestExperimentHarness:
+    def test_run_experiment_returns_renderable_results(self) -> None:
+        from repro.experiments import run_experiment
+
+        table_result = run_experiment("table1", rows=2000, queries=20, budget_bytes=2048)
+        assert table_result.rows
+        assert "Table 1" in table_result.render()
+        series_result = run_experiment("fig4", rows=2000, queries=20, thetas=(0.0, 1.0))
+        assert series_result.series
+        assert len(series_result.x_values) == 2
+
+    def test_unknown_experiment_raises(self) -> None:
+        from repro.experiments import run_experiment
+
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_experiment_registry_complete(self) -> None:
+        from repro.experiments import EXPERIMENTS
+
+        expected = {f"table{i}" for i in range(1, 5)} | {f"fig{i}" for i in range(1, 9)}
+        assert expected == set(EXPERIMENTS)

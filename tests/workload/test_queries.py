@@ -1,0 +1,156 @@
+"""Unit tests for the query model (Interval, RangeQuery, QueryRegion)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidQueryError
+from repro.workload.queries import Interval, QueryRegion, RangeQuery
+
+
+class TestInterval:
+    def test_basic_properties(self) -> None:
+        interval = Interval(1.0, 3.0)
+        assert interval.width == 2.0
+        assert not interval.is_point
+        assert interval.is_bounded
+
+    def test_point_interval(self) -> None:
+        interval = Interval(2.0, 2.0)
+        assert interval.is_point
+        assert interval.width == 0.0
+        assert interval.contains(2.0)
+
+    def test_one_sided_interval(self) -> None:
+        interval = Interval(-math.inf, 5.0)
+        assert not interval.is_bounded
+        assert interval.contains(-1e18)
+        assert not interval.contains(5.1)
+
+    def test_invalid_order_raises(self) -> None:
+        with pytest.raises(InvalidQueryError):
+            Interval(3.0, 1.0)
+
+    def test_nan_raises(self) -> None:
+        with pytest.raises(InvalidQueryError):
+            Interval(float("nan"), 1.0)
+
+    def test_contains_boundaries_inclusive(self) -> None:
+        interval = Interval(0.0, 1.0)
+        assert interval.contains(0.0)
+        assert interval.contains(1.0)
+
+    def test_intersection(self) -> None:
+        assert Interval(0, 2).intersect(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).intersect(Interval(2, 3)) is None
+        assert Interval(0, 1).intersect(Interval(1, 2)) == Interval(1, 1)
+
+    def test_clip(self) -> None:
+        assert Interval(-5, 5).clip(0, 1) == Interval(0, 1)
+        assert Interval(0.2, 0.4).clip(0, 1) == Interval(0.2, 0.4)
+        clipped = Interval(2, 3).clip(0, 1)
+        assert clipped.width == 0.0
+
+    def test_overlap_fraction(self) -> None:
+        interval = Interval(0.0, 0.5)
+        assert interval.overlap_fraction(0.0, 1.0) == pytest.approx(0.5)
+        assert interval.overlap_fraction(0.6, 1.0) == 0.0
+        assert interval.overlap_fraction(0.25, 0.75) == pytest.approx(0.5)
+
+    def test_overlap_fraction_degenerate_bucket(self) -> None:
+        interval = Interval(0.0, 1.0)
+        assert interval.overlap_fraction(0.5, 0.5) == 1.0
+        assert interval.overlap_fraction(2.0, 2.0) == 0.0
+
+    def test_ordering(self) -> None:
+        assert Interval(0, 1) < Interval(1, 2)
+
+
+class TestRangeQuery:
+    def test_construction_from_tuples(self) -> None:
+        query = RangeQuery({"a": (0, 1), "b": Interval(2, 3)})
+        assert query.attributes == ("a", "b")
+        assert query["a"] == Interval(0, 1)
+        assert query["b"].low == 2.0
+
+    def test_empty_constraints_raise(self) -> None:
+        with pytest.raises(InvalidQueryError):
+            RangeQuery({})
+
+    def test_equality_independent_of_order(self) -> None:
+        q1 = RangeQuery({"a": (0, 1), "b": (2, 3)})
+        q2 = RangeQuery({"b": (2, 3), "a": (0, 1)})
+        assert q1 == q2
+        assert hash(q1) == hash(q2)
+
+    def test_mapping_protocol(self) -> None:
+        query = RangeQuery({"x": (0, 1)})
+        assert len(query) == 1
+        assert "x" in query
+        assert list(query) == ["x"]
+        assert query.dimensionality == 1
+
+    def test_bounds_alignment(self) -> None:
+        query = RangeQuery({"b": (1, 2)})
+        lows, highs = query.bounds(["a", "b", "c"])
+        assert lows[0] == -np.inf and highs[0] == np.inf
+        assert lows[1] == 1.0 and highs[1] == 2.0
+        assert lows[2] == -np.inf and highs[2] == np.inf
+
+    def test_restrict(self) -> None:
+        query = RangeQuery({"a": (0, 1), "b": (2, 3)})
+        restricted = query.restrict(["a"])
+        assert restricted is not None
+        assert restricted.attributes == ("a",)
+        assert query.restrict(["z"]) is None
+
+    def test_volume(self) -> None:
+        query = RangeQuery({"a": (0.0, 0.5)})
+        domain = {"a": (0.0, 1.0), "b": (0.0, 10.0)}
+        assert query.volume(domain) == pytest.approx(0.5)
+
+    def test_volume_clipped_to_domain(self) -> None:
+        query = RangeQuery({"a": (-10.0, 0.5)})
+        assert query.volume({"a": (0.0, 1.0)}) == pytest.approx(0.5)
+
+    def test_intersect(self) -> None:
+        q1 = RangeQuery({"a": (0, 2)})
+        q2 = RangeQuery({"a": (1, 3), "b": (0, 1)})
+        joint = q1.intersect(q2)
+        assert joint is not None
+        assert joint["a"] == Interval(1, 2)
+        assert joint["b"] == Interval(0, 1)
+
+    def test_intersect_disjoint_returns_none(self) -> None:
+        assert RangeQuery({"a": (0, 1)}).intersect(RangeQuery({"a": (2, 3)})) is None
+
+    def test_contains_point(self) -> None:
+        query = RangeQuery({"a": (0, 1), "b": (0, 1)})
+        assert query.contains_point({"a": 0.5, "b": 0.5})
+        assert not query.contains_point({"a": 0.5, "b": 2.0})
+        assert not query.contains_point({"a": 0.5})
+
+    def test_repr_contains_attributes(self) -> None:
+        assert "a" in repr(RangeQuery({"a": (0, 1)}))
+
+    def test_invalid_interval_raises(self) -> None:
+        with pytest.raises(InvalidQueryError):
+            RangeQuery({"a": (5, 1)})
+
+
+class TestQueryRegion:
+    def test_valid_region(self) -> None:
+        region = QueryRegion(RangeQuery({"a": (0, 1)}), true_fraction=0.25)
+        assert region.true_fraction == 0.25
+        assert region.weight == 1.0
+
+    def test_invalid_fraction_raises(self) -> None:
+        with pytest.raises(InvalidQueryError):
+            QueryRegion(RangeQuery({"a": (0, 1)}), true_fraction=1.5)
+
+    def test_invalid_weight_raises(self) -> None:
+        with pytest.raises(InvalidQueryError):
+            QueryRegion(RangeQuery({"a": (0, 1)}), true_fraction=0.5, weight=0.0)
