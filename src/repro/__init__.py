@@ -9,13 +9,27 @@ self-tuning histograms), the data/workload/engine substrates needed to
 evaluate them, and a benchmark harness that regenerates every table and
 figure of the (reconstructed) evaluation.
 
+The estimator API is *batch first*: a workload is compiled once into a
+:class:`~repro.workload.queries.CompiledQueries` plan and every synopsis
+answers the whole batch with vectorized numpy operations via
+``estimate_batch``; the scalar ``estimate(query)`` is sugar over a one-row
+batch.
+
 Quickstart
 ----------
->>> from repro import gaussian_mixture_table, AdaptiveKDEEstimator, UniformWorkload
+>>> from repro import (
+...     gaussian_mixture_table, AdaptiveKDEEstimator, UniformWorkload,
+...     compile_queries,
+... )
 >>> table = gaussian_mixture_table(rows=20_000, dimensions=2, seed=7)
 >>> estimator = AdaptiveKDEEstimator(sample_size=512).fit(table)
->>> query = UniformWorkload(table, seed=1).generate(1)[0]
->>> 0.0 <= estimator.estimate(query) <= 1.0
+>>> queries = UniformWorkload(table, seed=1).generate(100)
+>>> plan = compile_queries(queries, estimator.columns)   # compile once ...
+>>> estimates = estimator.estimate_batch(plan)           # ... estimate in bulk
+>>> truths = table.true_selectivities(plan)              # vectorized ground truth
+>>> estimates.shape == truths.shape == (100,)
+True
+>>> bool((estimates >= 0.0).all() and (estimates <= 1.0).all())
 True
 """
 
@@ -43,6 +57,7 @@ from repro.core.estimator import (
     StreamingEstimator,
     available_estimators,
     create_estimator,
+    estimator_from_config,
     register_estimator,
 )
 from repro.core.feedback import FeedbackAdaptiveEstimator
@@ -100,7 +115,13 @@ from repro.workload.generators import (
     WorkloadGenerator,
     generate_workload,
 )
-from repro.workload.queries import Interval, QueryRegion, RangeQuery
+from repro.workload.queries import (
+    CompiledQueries,
+    Interval,
+    QueryRegion,
+    RangeQuery,
+    compile_queries,
+)
 
 __version__ = "1.0.0"
 
@@ -116,6 +137,7 @@ __all__ = [
     "register_estimator",
     "create_estimator",
     "available_estimators",
+    "estimator_from_config",
     # kernels & bandwidths
     "Kernel",
     "GaussianKernel",
@@ -165,6 +187,8 @@ __all__ = [
     "RangeQuery",
     "Interval",
     "QueryRegion",
+    "CompiledQueries",
+    "compile_queries",
     "WorkloadGenerator",
     "UniformWorkload",
     "DataCenteredWorkload",

@@ -27,7 +27,6 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
     from repro.engine.table import Table
-from repro.workload.queries import RangeQuery
 
 __all__ = ["Histogram1D", "EquiWidthHistogram", "EquiDepthHistogram"]
 
@@ -65,21 +64,38 @@ class Histogram1D:
 
     def selectivity(self, low: float, high: float) -> float:
         """Fraction of rows in ``[low, high]`` under the uniform-spread assumption."""
-        if self.total <= 0 or high < low:
-            return 0.0
-        lows = self.edges[:-1]
-        highs = self.edges[1:]
-        widths = highs - lows
-        covered = np.minimum(highs, high) - np.maximum(lows, low)
+        return float(self.selectivity_batch(np.array([low]), np.array([high]))[0])
+
+    def selectivity_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Vector of selectivities for ``(n,)`` arrays of interval bounds."""
+        lows = np.asarray(lows, dtype=float)
+        highs = np.asarray(highs, dtype=float)
+        if self.total <= 0:
+            return np.zeros(lows.shape[0])
+        bucket_lows = self.edges[:-1]
+        bucket_highs = self.edges[1:]
+        widths = bucket_highs - bucket_lows
+        covered = np.minimum(bucket_highs[None, :], highs[:, None]) - np.maximum(
+            bucket_lows[None, :], lows[:, None]
+        )
         covered = np.clip(covered, 0.0, None)
         # Degenerate buckets (repeated edges, e.g. heavy duplicates in
         # equi-depth histograms) hold all their mass at a single value.
         point_bucket = widths <= 0
-        fraction = np.where(point_bucket, 0.0, covered / np.where(widths > 0, widths, 1.0))
-        point_hit = point_bucket & (lows >= low) & (lows <= high)
+        fraction = np.where(
+            point_bucket[None, :],
+            0.0,
+            covered / np.where(widths > 0, widths, 1.0)[None, :],
+        )
+        point_hit = (
+            point_bucket[None, :]
+            & (bucket_lows[None, :] >= lows[:, None])
+            & (bucket_lows[None, :] <= highs[:, None])
+        )
         fraction = np.where(point_hit, 1.0, fraction)
         fraction = np.clip(fraction, 0.0, 1.0)
-        return float(np.dot(fraction, self.counts) / self.total)
+        result = fraction @ self.counts / self.total
+        return np.where(highs < lows, 0.0, result)
 
     def density(self, points: np.ndarray) -> np.ndarray:
         """Histogram density estimate at ``points`` (for MISE comparisons)."""
@@ -122,13 +138,16 @@ class _PerAttributeHistogramEstimator(SelectivityEstimator):
         self._require_fitted()
         return self._histograms[column]
 
-    def estimate(self, query: RangeQuery) -> float:
-        self._query_bounds(query)  # validates coverage
-        selectivity = 1.0
-        for attribute in query.attributes:
-            interval = query[attribute]
-            selectivity *= self._histograms[attribute].selectivity(interval.low, interval.high)
-        return self._clip_fraction(selectivity)
+    def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        # AVI: product of per-attribute selectivities.  Attributes no query
+        # constrains carry (-inf, +inf) bounds and a factor of exactly 1, so
+        # their coverage matrices need not be built at all.
+        selectivity = np.ones(lows.shape[0])
+        for d, column in enumerate(self._columns):
+            if np.isneginf(lows[:, d]).all() and np.isposinf(highs[:, d]).all():
+                continue
+            selectivity *= self._histograms[column].selectivity_batch(lows[:, d], highs[:, d])
+        return selectivity
 
     def memory_bytes(self) -> int:
         self._require_fitted()

@@ -11,7 +11,6 @@ in the optimizer-impact experiment (Fig. 8).
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 import numpy as np
@@ -23,11 +22,8 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
     from repro.engine.table import Table
-from repro.workload.queries import RangeQuery
 
 __all__ = ["IndependenceEstimator"]
-
-_SQRT2 = math.sqrt(2.0)
 
 
 @register_estimator("independence")
@@ -66,30 +62,35 @@ class IndependenceEstimator(SelectivityEstimator):
         self._mark_fitted(columns, table.row_count)
         return self
 
-    def estimate(self, query: RangeQuery) -> float:
-        self._query_bounds(query)
-        selectivity = 1.0
-        for attribute in query.attributes:
-            interval = query[attribute]
-            selectivity *= self._attribute_fraction(attribute, interval.low, interval.high)
-        return self._clip_fraction(selectivity)
+    def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        # AVI: product of per-attribute fractions; attributes no query
+        # constrains contribute a factor of exactly 1 and are skipped.
+        selectivity = np.ones(lows.shape[0])
+        for d, column in enumerate(self._columns):
+            if np.isneginf(lows[:, d]).all() and np.isposinf(highs[:, d]).all():
+                continue
+            selectivity *= self._attribute_fractions(column, lows[:, d], highs[:, d])
+        return selectivity
 
-    def _attribute_fraction(self, attribute: str, low: float, high: float) -> float:
-        if high < low:
-            return 0.0
+    def _attribute_fractions(
+        self, attribute: str, lows: np.ndarray, highs: np.ndarray
+    ) -> np.ndarray:
         if self.model == "uniform":
             domain_low = self._low[attribute]
             domain_high = self._high[attribute]
             width = domain_high - domain_low
             if width <= 0:
-                return 1.0 if low <= domain_low <= high else 0.0
-            covered = min(high, domain_high) - max(low, domain_low)
-            return max(covered, 0.0) / width
-        mean = self._mean[attribute]
-        std = self._std[attribute]
-        upper = special.erf((high - mean) / (std * _SQRT2))
-        lower = special.erf((low - mean) / (std * _SQRT2))
-        return float(0.5 * (upper - lower))
+                fractions = ((lows <= domain_low) & (domain_low <= highs)).astype(float)
+            else:
+                covered = np.minimum(highs, domain_high) - np.maximum(lows, domain_low)
+                fractions = np.maximum(covered, 0.0) / width
+        else:
+            mean = self._mean[attribute]
+            std = self._std[attribute]
+            fractions = special.ndtr((highs - mean) / std) - special.ndtr(
+                (lows - mean) / std
+            )
+        return np.where(highs < lows, 0.0, fractions)
 
     def memory_bytes(self) -> int:
         self._require_fitted()

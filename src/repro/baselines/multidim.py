@@ -25,9 +25,68 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
     from repro.engine.table import Table
-from repro.workload.queries import RangeQuery
 
-__all__ = ["GridHistogram"]
+__all__ = ["GridHistogram", "grid_axis_coverage", "grid_box_masses"]
+
+
+def grid_axis_coverage(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    domain_low: float,
+    domain_high: float,
+    resolution: int,
+) -> np.ndarray:
+    """Fraction of every equi-width grid slice covered by each query interval.
+
+    ``lows`` / ``highs`` are ``(n,)`` per-query bounds along one axis; the
+    result is ``(n, resolution)`` under the uniform-spread-inside-a-cell
+    assumption.  Shared by the dense grid and the self-tuning histogram.
+    """
+    edges = np.linspace(domain_low, domain_high, resolution + 1)
+    cell_low = edges[:-1]
+    cell_high = edges[1:]
+    width = np.maximum(cell_high - cell_low, 1e-300)
+    covered = np.clip(
+        np.minimum(cell_high[None, :], highs[:, None])
+        - np.maximum(cell_low[None, :], lows[:, None]),
+        0.0,
+        None,
+    )
+    return np.clip(covered / width[None, :], 0.0, 1.0)
+
+
+def grid_box_masses(
+    cells: np.ndarray,
+    domain_low: np.ndarray,
+    domain_high: np.ndarray,
+    resolution: int,
+    lows: np.ndarray,
+    highs: np.ndarray,
+) -> np.ndarray:
+    """Weighted cell mass inside every query box of a dense grid histogram.
+
+    ``cells`` is the flat ``resolution**d`` frequency vector; ``lows`` /
+    ``highs`` are ``(n, d)`` bound matrices.  Contracts one axis at a time;
+    the ``(block, resolution**(d-1))`` intermediate is chunked over queries
+    so memory stays bounded.
+    """
+    n, dims = lows.shape
+    coverage = [
+        grid_axis_coverage(
+            lows[:, d], highs[:, d], float(domain_low[d]), float(domain_high[d]), resolution
+        )
+        for d in range(dims)
+    ]
+    grid = cells.reshape((resolution,) * dims)
+    out = np.empty(n)
+    block = max((1 << 22) // max(resolution ** max(dims - 1, 0), 1), 1)
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        acc = np.einsum("ni,i...->n...", coverage[0][start:stop], grid)
+        for d in range(1, dims):
+            acc = np.einsum("ni,ni...->n...", coverage[d][start:stop], acc)
+        out[start:stop] = acc
+    return out
 
 
 @register_estimator("grid")
@@ -121,27 +180,13 @@ class GridHistogram(SelectivityEstimator):
         boundary_floats = 2 * len(self._columns)
         return int((self._cells.size + boundary_floats) * FLOAT_BYTES)
 
-    def estimate(self, query: RangeQuery) -> float:
-        lows, highs = self._query_bounds(query)
+    def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
         if self._total <= 0:
-            return 0.0
-        dims = len(self._columns)
-        resolution = self._resolution
-        # Per-dimension coverage fraction of every grid slice (uniform spread
-        # inside a cell), then combine via the outer product over dimensions.
-        coverage = []
-        for d in range(dims):
-            cell_edges = np.linspace(self._low[d], self._high[d], resolution + 1)
-            cell_low = cell_edges[:-1]
-            cell_high = cell_edges[1:]
-            width = np.maximum(cell_high - cell_low, 1e-300)
-            covered = np.clip(np.minimum(cell_high, highs[d]) - np.maximum(cell_low, lows[d]), 0.0, None)
-            coverage.append(np.clip(covered / width, 0.0, 1.0))
-        weights = coverage[0]
-        for d in range(1, dims):
-            weights = np.multiply.outer(weights, coverage[d])
-        estimate = float(np.dot(weights.ravel(), self._cells) / self._total)
-        return self._clip_fraction(estimate)
+            return np.zeros(lows.shape[0])
+        masses = grid_box_masses(
+            self._cells, self._low, self._high, self._resolution, lows, highs
+        )
+        return masses / self._total
 
     def cell_frequencies(self) -> np.ndarray:
         """Grid counts reshaped to ``(resolution,) * dims`` (copy)."""

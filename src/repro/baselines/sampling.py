@@ -28,19 +28,32 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
     from repro.engine.table import Table
 from repro.stream.reservoir import DecayedReservoirSampler, ReservoirSampler
-from repro.workload.queries import RangeQuery
 
 __all__ = ["SamplingEstimator", "ReservoirSamplingEstimator"]
 
 
-def _fraction_in_box(rows: np.ndarray, lows: np.ndarray, highs: np.ndarray) -> float:
-    """Fraction of ``rows`` falling inside the box ``[lows, highs]``."""
-    if rows.shape[0] == 0:
-        return 0.0
-    inside = np.ones(rows.shape[0], dtype=bool)
-    for d in range(rows.shape[1]):
-        inside &= (rows[:, d] >= lows[d]) & (rows[:, d] <= highs[d])
-    return float(np.count_nonzero(inside)) / rows.shape[0]
+def _fractions_in_box(rows: np.ndarray, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+    """Fraction of ``rows`` inside every box of the ``(n, d)`` bound matrices.
+
+    The ``(block, m)`` containment mask is chunked over queries so memory
+    stays bounded for arbitrarily large batches.
+    """
+    n = lows.shape[0]
+    out = np.zeros(n)
+    m = rows.shape[0]
+    if m == 0:
+        return out
+    block = max((1 << 21) // m, 1)
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        inside = np.ones((stop - start, m), dtype=bool)
+        for d in range(rows.shape[1]):
+            values = rows[:, d]
+            inside &= (values[None, :] >= lows[start:stop, d, None]) & (
+                values[None, :] <= highs[start:stop, d, None]
+            )
+        out[start:stop] = np.count_nonzero(inside, axis=1) / m
+    return out
 
 
 @register_estimator("sampling")
@@ -83,9 +96,8 @@ class SamplingEstimator(SelectivityEstimator):
         self._require_fitted()
         return self._rows.copy()
 
-    def estimate(self, query: RangeQuery) -> float:
-        lows, highs = self._query_bounds(query)
-        return self._clip_fraction(_fraction_in_box(self._rows, lows, highs))
+    def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        return _fractions_in_box(self._rows, lows, highs)
 
     def memory_bytes(self) -> int:
         self._require_fitted()
@@ -147,10 +159,9 @@ class ReservoirSamplingEstimator(StreamingEstimator):
         self._reservoir.insert(rows)
         self._row_count += rows.shape[0]
 
-    def estimate(self, query: RangeQuery) -> float:
-        lows, highs = self._query_bounds(query)
+    def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
         assert self._reservoir is not None
-        return self._clip_fraction(_fraction_in_box(self._reservoir.sample(), lows, highs))
+        return _fractions_in_box(self._reservoir.sample(), lows, highs)
 
     def memory_bytes(self) -> int:
         self._require_fitted()

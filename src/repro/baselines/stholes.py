@@ -24,6 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.baselines.multidim import grid_axis_coverage, grid_box_masses
 from repro.core.errors import InvalidParameterError
 from repro.core.estimator import FLOAT_BYTES, FeedbackEstimator, register_estimator
 from typing import TYPE_CHECKING
@@ -125,23 +126,22 @@ class SelfTuningHistogram(FeedbackEstimator):
     def _coverage_weights(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
         """Fraction of every grid cell covered by the query box (flat array)."""
         dims = len(self._columns)
-        per_dim = []
-        for d in range(dims):
-            edges = np.linspace(self._low[d], self._high[d], self.cells_per_dim + 1)
-            cell_low, cell_high = edges[:-1], edges[1:]
-            width = np.maximum(cell_high - cell_low, 1e-300)
-            covered = np.clip(np.minimum(cell_high, highs[d]) - np.maximum(cell_low, lows[d]), 0.0, None)
-            per_dim.append(np.clip(covered / width, 0.0, 1.0))
+        per_dim = [
+            grid_axis_coverage(
+                lows[d : d + 1], highs[d : d + 1], self._low[d], self._high[d], self.cells_per_dim
+            )[0]
+            for d in range(dims)
+        ]
         weights = per_dim[0]
         for d in range(1, dims):
             weights = np.multiply.outer(weights, per_dim[d])
         return weights.ravel()
 
     # -- estimation and feedback -----------------------------------------------
-    def estimate(self, query: RangeQuery) -> float:
-        lows, highs = self._query_bounds(query)
-        weights = self._coverage_weights(lows, highs)
-        return self._clip_fraction(float(np.dot(weights, self._cells)))
+    def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        return grid_box_masses(
+            self._cells, self._low, self._high, self.cells_per_dim, lows, highs
+        )
 
     def feedback(self, query: RangeQuery, true_fraction: float) -> None:
         """STGrid refinement: move mass so the grid reproduces the observation."""

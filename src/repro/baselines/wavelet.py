@@ -27,7 +27,6 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
     from repro.engine.table import Table
-from repro.workload.queries import RangeQuery
 
 __all__ = ["haar_transform", "inverse_haar_transform", "top_k_coefficients", "WaveletHistogram"]
 
@@ -145,13 +144,16 @@ class WaveletHistogram(SelectivityEstimator):
         self._require_fitted()
         return self._histograms[column]
 
-    def estimate(self, query: RangeQuery) -> float:
-        self._query_bounds(query)
-        selectivity = 1.0
-        for attribute in query.attributes:
-            interval = query[attribute]
-            selectivity *= self._histograms[attribute].selectivity(interval.low, interval.high)
-        return self._clip_fraction(selectivity)
+    def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        # Independence assumption: product of per-attribute selectivities from
+        # the reconstructed histograms; attributes no query constrains
+        # contribute a factor of exactly 1 and are skipped.
+        selectivity = np.ones(lows.shape[0])
+        for d, column in enumerate(self._columns):
+            if np.isneginf(lows[:, d]).all() and np.isposinf(highs[:, d]).all():
+                continue
+            selectivity *= self._histograms[column].selectivity_batch(lows[:, d], highs[:, d])
+        return selectivity
 
     def memory_bytes(self) -> int:
         self._require_fitted()

@@ -25,6 +25,7 @@ from repro.core.estimator import (
     StreamingEstimator,
     available_estimators,
     create_estimator,
+    estimator_from_config,
     register_estimator,
 )
 from repro.core.feedback import FeedbackAdaptiveEstimator
@@ -42,4 +43,5 @@ __all__ = [
     "register_estimator",
     "create_estimator",
     "available_estimators",
+    "estimator_from_config",
 ]

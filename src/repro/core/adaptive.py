@@ -28,7 +28,6 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
     from repro.engine.table import Table
-from repro.workload.queries import RangeQuery
 
 __all__ = ["AdaptiveKDEEstimator"]
 
@@ -120,38 +119,16 @@ class AdaptiveKDEEstimator(KDESelectivityEstimator):
         return int(base + self._local_factors.size * FLOAT_BYTES)
 
     # -- estimation -------------------------------------------------------------
-    def _axis_mass(self, centers: np.ndarray, axis: int, low: float, high: float) -> np.ndarray:
-        """Kernel mass on ``[low, high]`` with per-point bandwidths ``h_d · λ_i``."""
+    def _axis_bandwidths(self, axis: int, centers: np.ndarray) -> np.ndarray:
+        """Per-point bandwidths ``h_d · λ_i`` along one axis.
+
+        Reflected centers reuse the same per-point factors; pilot paths with
+        no factors fall back to the fixed bandwidth behaviour.
+        """
         factors = self._local_factors
         if factors.size != centers.size:
-            # Reflected centers reuse the same per-point factors; pilot paths
-            # with no factors fall back to the fixed bandwidth behaviour.
             factors = np.ones(centers.size) if factors.size == 0 else factors
-        h = self._bandwidths[axis] * factors
-        mass = self._raw_axis_mass_adaptive(centers, h, low, high)
-        if not self.boundary_correction:
-            return mass
-        domain_low = self._domain_low[axis]
-        domain_high = self._domain_high[axis]
-        if not (np.isfinite(domain_low) and np.isfinite(domain_high)):
-            return mass
-        clipped_low = max(low, domain_low)
-        clipped_high = min(high, domain_high)
-        if clipped_low > clipped_high:
-            return np.zeros_like(mass)
-        mass = self._raw_axis_mass_adaptive(centers, h, clipped_low, clipped_high)
-        reflected_left = 2.0 * domain_low - centers
-        reflected_right = 2.0 * domain_high - centers
-        mass = mass + self._raw_axis_mass_adaptive(reflected_left, h, clipped_low, clipped_high)
-        mass = mass + self._raw_axis_mass_adaptive(reflected_right, h, clipped_low, clipped_high)
-        return np.clip(mass, 0.0, 1.0)
-
-    def _raw_axis_mass_adaptive(
-        self, centers: np.ndarray, bandwidths: np.ndarray, low: float, high: float
-    ) -> np.ndarray:
-        upper = (high - centers) / bandwidths
-        lower = (low - centers) / bandwidths
-        return self.kernel.interval_mass(lower, upper)
+        return self._bandwidths[axis] * factors
 
     def density(self, points: np.ndarray) -> np.ndarray:
         """Evaluate the adaptive density estimate at ``points``."""

@@ -55,6 +55,13 @@ def robust_scale(values: np.ndarray) -> float:
     std = float(np.std(values))
     q75, q25 = np.percentile(values, [75.0, 25.0])
     iqr = float(q75 - q25)
+    # An IQR vanishingly small relative to the magnitude of the data is a
+    # discretisation or floating-point artefact (e.g. a subnormal straggler
+    # sitting between otherwise identical quartiles), not a usable scale:
+    # treat it as degenerate so the rule stays shift invariant.
+    magnitude = float(np.max(np.abs(values)))
+    if iqr < max(magnitude, 1.0) * 1e-8:
+        iqr = 0.0
     candidates = [c for c in (std, iqr / 1.349) if c > 0 and math.isfinite(c)]
     if not candidates:
         return _MIN_BANDWIDTH

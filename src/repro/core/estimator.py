@@ -2,23 +2,42 @@
 
 Every synopsis in this library — the adaptive KDE models as well as the
 baseline histograms, samples and wavelet synopses — implements the
-:class:`SelectivityEstimator` contract:
+:class:`SelectivityEstimator` contract.  The contract is **batch first**: a
+workload compiled into a :class:`~repro.workload.queries.CompiledQueries`
+plan (a ``(lows, highs)`` bound-matrix pair aligned with the fitted columns)
+is the primary unit of estimation, so throughput scales with numpy rather
+than with the Python interpreter:
 
 * ``fit(table, columns)`` builds the synopsis from a table,
-* ``estimate(query)`` returns a selectivity in ``[0, 1]``,
-* ``estimate_cardinality(query)`` scales it by the (tracked) row count,
+* ``estimate_batch(queries)`` — the public estimation entry point — accepts a
+  sequence of :class:`~repro.workload.queries.RangeQuery` objects *or* an
+  already-compiled plan and returns one selectivity in ``[0, 1]`` per query
+  as a numpy vector,
+* ``estimate(query)`` is sugar over a one-row batch,
+* ``estimate_cardinality(query)`` / ``estimate_cardinality_batch(queries)``
+  scale selectivities by the (tracked) row count,
 * ``memory_bytes()`` reports the synopsis footprint so comparisons between
   estimators can be made at equal space budget,
 * streaming estimators additionally implement ``insert(rows)``,
 * self-tuning estimators additionally implement ``feedback(query, truth)``.
 
+Subclasses implement the private hook ``_estimate_batch(lows, highs)``, which
+receives validated ``(n, d)`` bound matrices aligned with the fitted columns
+and returns ``n`` raw estimates (clipping to ``[0, 1]`` is applied by the
+base class).  Every built-in synopsis implements this hook natively
+vectorised.  Third-party estimators that only override the scalar
+``estimate(query)`` keep working: the base hook falls back to a per-query
+loop.  ``estimate_many`` survives as a deprecated alias of
+``estimate_batch``.
+
 A simple name-based registry (:func:`register_estimator`,
-:func:`create_estimator`) lets the experiment harness instantiate estimators
-from configuration dictionaries.
+:func:`create_estimator`, :func:`estimator_from_config`) lets the experiment
+harness instantiate estimators from configuration dictionaries.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
@@ -33,7 +52,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
     from repro.engine.table import Table
-from repro.workload.queries import RangeQuery
+from repro.workload.queries import CompiledQueries, RangeQuery, compile_queries
 
 __all__ = [
     "SelectivityEstimator",
@@ -42,6 +61,7 @@ __all__ = [
     "register_estimator",
     "create_estimator",
     "available_estimators",
+    "estimator_from_config",
     "FLOAT_BYTES",
 ]
 
@@ -70,12 +90,53 @@ class SelectivityEstimator(ABC):
         """Build the synopsis from ``table`` over ``columns`` (default: all)."""
 
     @abstractmethod
-    def estimate(self, query: RangeQuery) -> float:
-        """Estimated fraction of rows satisfying ``query``, in ``[0, 1]``."""
-
-    @abstractmethod
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the synopsis in bytes."""
+
+    # -- estimation ----------------------------------------------------------
+    def estimate(self, query: RangeQuery) -> float:
+        """Estimated fraction of rows satisfying ``query``, in ``[0, 1]``.
+
+        Sugar over a one-row :meth:`estimate_batch`.
+        """
+        return float(self.estimate_batch((query,))[0])
+
+    def estimate_batch(
+        self, queries: Sequence[RangeQuery] | CompiledQueries
+    ) -> np.ndarray:
+        """Vector of estimates in ``[0, 1]`` for a whole workload.
+
+        ``queries`` is either a sequence of
+        :class:`~repro.workload.queries.RangeQuery` objects (compiled against
+        the fitted columns on the fly) or a pre-built
+        :class:`~repro.workload.queries.CompiledQueries` plan, which skips all
+        per-query Python work.  Queries constraining attributes the synopsis
+        does not cover raise
+        :class:`~repro.core.errors.DimensionMismatchError`.
+        """
+        self._require_fitted()
+        compiled = compile_queries(queries, self._columns)
+        if len(compiled) == 0:
+            return np.zeros(0)
+        estimates = np.asarray(
+            self._estimate_batch(compiled.lows, compiled.highs), dtype=float
+        )
+        return self._clip_fractions(estimates)
+
+    def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Raw estimates for validated ``(n, d)`` bound matrices.
+
+        Built-in synopses override this with a natively vectorised
+        implementation; the base version is a per-query loop so estimators
+        that only implement the scalar :meth:`estimate` keep working.
+        """
+        if type(self).estimate is SelectivityEstimator.estimate:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement _estimate_batch() "
+                "(or the scalar estimate())"
+            )
+        plan = CompiledQueries(self._columns, lows, highs)
+        return np.array([self.estimate(q) for q in plan.to_queries()], dtype=float)
 
     # -- shared helpers ------------------------------------------------------
     @property
@@ -97,9 +158,21 @@ class SelectivityEstimator(ABC):
         """Estimated number of qualifying rows (selectivity × row count)."""
         return self.estimate(query) * self._row_count
 
+    def estimate_cardinality_batch(
+        self, queries: Sequence[RangeQuery] | CompiledQueries
+    ) -> np.ndarray:
+        """Vector of cardinality estimates (selectivity × row count)."""
+        return self.estimate_batch(queries) * self._row_count
+
     def estimate_many(self, queries: Iterable[RangeQuery]) -> np.ndarray:
-        """Vector of estimates for a sequence of queries."""
-        return np.array([self.estimate(q) for q in queries], dtype=float)
+        """Deprecated alias of :meth:`estimate_batch`."""
+        warnings.warn(
+            "estimate_many() is deprecated; use estimate_batch()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        queries = queries if isinstance(queries, CompiledQueries) else list(queries)
+        return self.estimate_batch(queries)
 
     def _mark_fitted(self, columns: Sequence[str], row_count: int) -> None:
         self._columns = tuple(columns)
@@ -142,6 +215,12 @@ class SelectivityEstimator(ABC):
         if np.isnan(value):
             return 0.0
         return float(min(max(value, 0.0), 1.0))
+
+    @staticmethod
+    def _clip_fractions(values: np.ndarray) -> np.ndarray:
+        """Vector form of :meth:`_clip_fraction` (NaN collapses to 0)."""
+        values = np.where(np.isnan(values), 0.0, values)
+        return np.clip(values, 0.0, 1.0)
 
     def describe(self) -> dict[str, Any]:
         """Small structured description used in experiment reports."""

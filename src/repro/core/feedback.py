@@ -39,7 +39,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
     from repro.engine.table import Table
-from repro.workload.queries import Interval, RangeQuery
+from repro.workload.queries import CompiledQueries, RangeQuery
 
 __all__ = ["FeedbackAdaptiveEstimator", "FeedbackRecord"]
 
@@ -154,7 +154,7 @@ class FeedbackAdaptiveEstimator(FeedbackEstimator):
         lows, highs = self._query_bounds(query)
         base_estimate = self.base.estimate(query)
         record = FeedbackRecord(
-            self._clip_box(lows), self._clip_box(highs, upper=True), true_fraction, base_estimate
+            self._clip_box(lows), self._clip_box(highs), true_fraction, base_estimate
         )
         for existing in self._records:
             existing.age += 1
@@ -190,63 +190,66 @@ class FeedbackAdaptiveEstimator(FeedbackEstimator):
         return len(self._records)
 
     # -- estimation -------------------------------------------------------------
-    def estimate(self, query: RangeQuery) -> float:
-        lows, highs = self._query_bounds(query)
-        base = self.base.estimate(query)
+    def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Base-model batch estimates rescaled by bias and region corrections."""
+        base = self.base.estimate_batch(CompiledQueries(self._columns, lows, highs))
         corrected = base * math.exp(-self._log_bias * self.learning_rate)
-        region_factor = self._region_correction(self._clip_box(lows), self._clip_box(highs, upper=True))
-        corrected *= region_factor
-        return self._clip_fraction(corrected)
+        corrected *= self._region_corrections(
+            self._clip_box(lows), self._clip_box(highs)
+        )
+        return corrected
 
-    def _clip_box(self, bounds: np.ndarray, upper: bool = False) -> np.ndarray:
+    def _clip_box(self, bounds: np.ndarray) -> np.ndarray:
         """Clip query bounds to the data domain so box volumes are finite."""
         if self._domain_low.size == 0:
             return bounds
         return np.clip(bounds, self._domain_low, self._domain_high)
 
-    def _region_correction(self, lows: np.ndarray, highs: np.ndarray) -> float:
-        """Geometric blend of the correction ratios of overlapping feedback regions."""
-        if not self._records:
-            return 1.0
-        total_weight = 0.0
-        weighted_log = 0.0
-        query_volume = self._box_volume(lows, highs)
-        for record in self._records:
-            overlap = self._overlap_volume(lows, highs, record.lows, record.highs)
-            if overlap <= 0.0:
-                continue
-            record_volume = self._box_volume(record.lows, record.highs)
-            union = query_volume + record_volume - overlap
-            if union <= 0.0:
-                similarity = 1.0
-            else:
-                similarity = overlap / union
-            weight = similarity * self._recency_weight(record)
-            total_weight += weight
-            weighted_log += weight * record.log_ratio
-        if total_weight <= 0.0:
-            return 1.0
-        blended = weighted_log / total_weight
-        # Confidence grows with the amount of overlapping evidence.
-        confidence = min(total_weight, 1.0) * self.learning_rate
-        return math.exp(confidence * blended)
+    def _region_corrections(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Geometric blend of the correction ratios of overlapping feedback regions.
 
-    def _box_volume(self, lows: np.ndarray, highs: np.ndarray) -> float:
+        Vectorised over both queries and records: the ``(block, R, d)``
+        intersection tensor is chunked over queries so memory stays bounded.
+        """
+        n = lows.shape[0]
+        if not self._records:
+            return np.ones(n)
+        record_lows = np.stack([r.lows for r in self._records])
+        record_highs = np.stack([r.highs for r in self._records])
+        log_ratios = np.array([r.log_ratio for r in self._records])
+        recency = np.array([self._recency_weight(r) for r in self._records])
+        record_volumes = self._box_volumes(record_lows, record_highs)
+        query_volumes = self._box_volumes(lows, highs)
+
+        records = record_lows.shape[0]
+        dims = record_lows.shape[1]
+        factors = np.empty(n)
+        block = max((1 << 20) // max(records * dims, 1), 1)
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            inter_lows = np.maximum(lows[start:stop, None, :], record_lows[None, :, :])
+            inter_highs = np.minimum(highs[start:stop, None, :], record_highs[None, :, :])
+            disjoint = np.any(inter_highs < inter_lows, axis=2)
+            overlap = np.where(disjoint, 0.0, self._box_volumes(inter_lows, inter_highs))
+            union = query_volumes[start:stop, None] + record_volumes[None, :] - overlap
+            similarity = np.where(union > 0.0, overlap / np.where(union > 0.0, union, 1.0), 1.0)
+            weight = np.where(overlap > 0.0, similarity * recency[None, :], 0.0)
+            total_weight = weight.sum(axis=1)
+            weighted_log = weight @ log_ratios
+            safe_total = np.where(total_weight > 0.0, total_weight, 1.0)
+            blended = weighted_log / safe_total
+            # Confidence grows with the amount of overlapping evidence.
+            confidence = np.minimum(total_weight, 1.0) * self.learning_rate
+            factors[start:stop] = np.where(
+                total_weight > 0.0, np.exp(confidence * blended), 1.0
+            )
+        return factors
+
+    def _box_volumes(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Normalised box volumes over the trailing attribute axis."""
         widths = np.maximum(highs - lows, 0.0)
         # Degenerate (point) constraints contribute a small positive width so
         # point queries can still match feedback on the same point.
         domain_width = np.maximum(self._domain_high - self._domain_low, 1e-12)
         widths = np.maximum(widths, 1e-6 * domain_width)
-        return float(np.prod(widths / domain_width))
-
-    def _overlap_volume(
-        self, lows_a: np.ndarray, highs_a: np.ndarray, lows_b: np.ndarray, highs_b: np.ndarray
-    ) -> float:
-        lows = np.maximum(lows_a, lows_b)
-        highs = np.minimum(highs_a, highs_b)
-        if np.any(highs < lows):
-            return 0.0
-        widths = np.maximum(highs - lows, 0.0)
-        domain_width = np.maximum(self._domain_high - self._domain_low, 1e-12)
-        widths = np.maximum(widths, 1e-6 * domain_width)
-        return float(np.prod(widths / domain_width))
+        return np.prod(widths / domain_width, axis=-1)

@@ -78,7 +78,9 @@ class Kernel(ABC):
     # -- derived quantities ------------------------------------------------
     def interval_mass(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Mass of the kernel on the interval ``[a, b]`` (standardised units)."""
-        return np.clip(self.cdf(np.asarray(b, dtype=float)) - self.cdf(np.asarray(a, dtype=float)), 0.0, 1.0)
+        mass = np.asarray(self.cdf(np.asarray(b, dtype=float)))
+        mass = np.subtract(mass, self.cdf(np.asarray(a, dtype=float)), out=mass)
+        return np.clip(mass, 0.0, 1.0, out=mass)
 
     @property
     def canonical_bandwidth_factor(self) -> float:
@@ -119,7 +121,10 @@ class GaussianKernel(Kernel):
 
     def cdf(self, u: np.ndarray) -> np.ndarray:
         u = np.asarray(u, dtype=float)
-        return 0.5 * (1.0 + special.erf(u / _SQRT2))
+        # ndtr is the normal CDF evaluated directly; it is several times
+        # faster than composing erf and is the hot function of every
+        # Gaussian-kernel batch estimate.
+        return special.ndtr(u)
 
     @property
     def variance(self) -> float:

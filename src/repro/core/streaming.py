@@ -35,20 +35,21 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
     from repro.engine.table import Table
-from repro.workload.queries import RangeQuery
 
 __all__ = ["StreamingADE"]
-
-_SQRT2 = math.sqrt(2.0)
 
 
 def _normal_interval_mass(
     lows: np.ndarray, highs: np.ndarray, means: np.ndarray, stds: np.ndarray
 ) -> np.ndarray:
-    """Mass of N(means, stds²) inside [lows, highs], elementwise."""
-    upper = special.erf((highs - means) / (stds * _SQRT2))
-    lower = special.erf((lows - means) / (stds * _SQRT2))
-    return np.clip(0.5 * (upper - lower), 0.0, 1.0)
+    """Mass of N(means, stds²) inside [lows, highs], elementwise.
+
+    Uses ``ndtr`` (the normal CDF evaluated directly) — several times faster
+    than composing ``erf``, and this is the hot function of batch estimation.
+    """
+    mass = np.asarray(special.ndtr((highs - means) / stds))
+    np.subtract(mass, special.ndtr((lows - means) / stds), out=mass)
+    return np.clip(mass, 0.0, 1.0, out=mass)
 
 
 @register_estimator("streaming_ade")
@@ -354,19 +355,35 @@ class StreamingADE(StreamingEstimator):
         return np.maximum(h * self.smoothing_factor, 1e-9)
 
     # -- estimation -------------------------------------------------------------
-    def estimate(self, query: RangeQuery) -> float:
-        lows, highs = self._query_bounds(query)
+    def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Mixture mass inside every query box, broadcast over all kernels.
+
+        The ``(block, K)`` buffer of per-kernel masses is kept bounded by
+        chunking over queries, so arbitrarily large batches stay in cache.
+        """
+        n = lows.shape[0]
         if self._weights.size == 0:
-            return 0.0
-        smoothing = self._smoothing_bandwidths()
-        stds = np.sqrt(self._variances + smoothing**2)
-        mass = np.ones(self._weights.size)
-        for d in range(self._dims):
-            mass *= _normal_interval_mass(lows[d], highs[d], self._means[:, d], stds[:, d])
+            return np.zeros(n)
         total = float(self._weights.sum())
         if total <= 0:
-            return 0.0
-        return self._clip_fraction(float(np.dot(mass, self._weights) / total))
+            return np.zeros(n)
+        smoothing = self._smoothing_bandwidths()
+        stds = np.sqrt(self._variances + smoothing**2)
+        kernels = self._weights.size
+        out = np.empty(n)
+        block = max((1 << 21) // max(kernels, 1), 1)
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            mass = np.ones((stop - start, kernels))
+            for d in range(self._dims):
+                mass *= _normal_interval_mass(
+                    lows[start:stop, d, None],
+                    highs[start:stop, d, None],
+                    self._means[None, :, d],
+                    stds[None, :, d],
+                )
+            out[start:stop] = mass @ self._weights / total
+        return out
 
     def density(self, points: np.ndarray) -> np.ndarray:
         """Evaluate the mixture density at ``points`` (``(m, d)`` matrix)."""

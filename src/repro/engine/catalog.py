@@ -12,10 +12,12 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.core.errors import CatalogError
 from repro.core.estimator import SelectivityEstimator
 from repro.engine.table import Table
-from repro.workload.queries import RangeQuery
+from repro.workload.queries import CompiledQueries, RangeQuery
 
 __all__ = ["Catalog"]
 
@@ -80,14 +82,37 @@ class Catalog:
             return table.true_selectivity(query)
         return estimator.estimate(query)
 
+    def estimate_batch(
+        self, table_name: str, queries: Sequence[RangeQuery] | CompiledQueries
+    ) -> np.ndarray:
+        """Vector of selectivity estimates for a workload (exact if no synopsis)."""
+        table = self.table(table_name)
+        estimator = self._estimators.get(table_name)
+        if estimator is None:
+            return table.true_selectivities(queries)
+        return estimator.estimate_batch(queries)
+
     def estimate_cardinality(self, table_name: str, query: RangeQuery) -> float:
         """Cardinality estimate: selectivity times the table's true row count."""
         table = self.table(table_name)
         return self.estimate_selectivity(table_name, query) * table.row_count
 
+    def estimate_cardinality_batch(
+        self, table_name: str, queries: Sequence[RangeQuery] | CompiledQueries
+    ) -> np.ndarray:
+        """Vector of cardinality estimates for a workload."""
+        table = self.table(table_name)
+        return self.estimate_batch(table_name, queries) * table.row_count
+
     def true_selectivity(self, table_name: str, query: RangeQuery) -> float:
         """Exact selectivity (full scan) for evaluation purposes."""
         return self.table(table_name).true_selectivity(query)
+
+    def true_selectivities(
+        self, table_name: str, queries: Sequence[RangeQuery] | CompiledQueries
+    ) -> np.ndarray:
+        """Exact selectivities (vectorized full scans) for evaluation purposes."""
+        return self.table(table_name).true_selectivities(queries)
 
     def refresh(self, table_name: str) -> None:
         """Refit the attached synopsis after the table changed (bulk rebuild)."""

@@ -9,7 +9,10 @@ selectivity back to a feedback-capable synopsis, exactly the way a DBMS with
 :func:`evaluate_estimator` is the workhorse of the benchmark harness: given a
 table, a fitted estimator and a workload it returns paired vectors of
 estimates and truths, plus timing, from which the metrics module computes the
-numbers printed in the tables.
+numbers printed in the tables.  Both the executor and the evaluator run on
+the batch path: the workload is compiled once
+(:func:`~repro.workload.queries.compile_queries`) and ground truth and
+estimates are produced as whole vectors.
 """
 
 from __future__ import annotations
@@ -20,10 +23,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.errors import NotFittedError
 from repro.core.estimator import FeedbackEstimator, SelectivityEstimator
 from repro.engine.table import Table
 from repro.metrics.errors import ErrorSummary, evaluate_estimates
-from repro.workload.queries import RangeQuery
+from repro.workload.queries import CompiledQueries, RangeQuery, compile_queries
 
 __all__ = ["QueryResult", "EvaluationResult", "Executor", "evaluate_estimator"]
 
@@ -109,26 +113,60 @@ class Executor:
         estimator: SelectivityEstimator | None = None,
         feedback: bool = False,
     ) -> list[QueryResult]:
-        """Execute a workload in order, optionally with the feedback loop closed."""
-        results = []
-        for query in queries:
-            if feedback and isinstance(estimator, FeedbackEstimator):
-                results.append(self.execute_with_feedback(query, estimator))
-            else:
-                results.append(self.execute(query, estimator))
+        """Execute a workload, optionally with the feedback loop closed.
+
+        Ground truth is always computed on the vectorized batch path.  Without
+        feedback the synopsis estimates are batched too; with feedback the
+        estimates stay sequential by necessity (each estimate must be taken
+        before its own query's truth is fed back).
+        """
+        queries = list(queries)
+        rows = self.table.row_count
+        # Compile once against the table's columns; the estimator restricts
+        # the same plan to its own columns instead of re-compiling.
+        plan = compile_queries(queries, self.table.column_names)
+        counts = self.table.true_counts(plan)
+        fractions = counts / rows if rows else np.zeros(len(queries))
+        results: list[QueryResult] = []
+        if feedback and isinstance(estimator, FeedbackEstimator):
+            for query, count, fraction in zip(queries, counts, fractions):
+                estimate = estimator.estimate(query)
+                estimator.feedback(query, float(fraction))
+                results.append(
+                    QueryResult(query, int(count), float(fraction), rows, estimate)
+                )
+        else:
+            estimates = estimator.estimate_batch(plan) if estimator is not None else None
+            for i, query in enumerate(queries):
+                estimate = float(estimates[i]) if estimates is not None else None
+                results.append(
+                    QueryResult(query, int(counts[i]), float(fractions[i]), rows, estimate)
+                )
+        self.executed += len(queries)
         return results
 
 
 def evaluate_estimator(
     table: Table,
     estimator: SelectivityEstimator,
-    queries: Sequence[RangeQuery],
+    queries: Sequence[RangeQuery] | CompiledQueries,
     name: str | None = None,
 ) -> EvaluationResult:
-    """Evaluate a fitted estimator on a workload against exact answers."""
-    truths = np.array([table.true_selectivity(q) for q in queries], dtype=float)
+    """Evaluate a fitted estimator on a workload against exact answers.
+
+    The workload is compiled once against the estimator's columns; the timed
+    section covers only the batched estimation itself, so
+    ``EvaluationResult.queries_per_second`` measures estimation throughput,
+    not query-plan construction.
+    """
+    if not estimator.is_fitted:
+        raise NotFittedError(
+            f"{type(estimator).__name__} must be fitted before evaluation"
+        )
+    compiled = compile_queries(queries, estimator.columns)
+    truths = table.true_selectivities(compiled)
     start = time.perf_counter()
-    estimates = np.array([estimator.estimate(q) for q in queries], dtype=float)
+    estimates = estimator.estimate_batch(compiled)
     elapsed = time.perf_counter() - start
     return EvaluationResult(
         estimator_name=name or estimator.name,
@@ -136,5 +174,5 @@ def evaluate_estimator(
         truths=truths,
         estimate_seconds=elapsed,
         memory_bytes=estimator.memory_bytes(),
-        queries=list(queries),
+        queries=list(queries) if not isinstance(queries, CompiledQueries) else [],
     )

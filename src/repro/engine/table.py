@@ -14,7 +14,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.core.errors import CatalogError, DimensionMismatchError, InvalidParameterError
-from repro.workload.queries import RangeQuery
+from repro.workload.queries import CompiledQueries, RangeQuery, compile_queries
 
 __all__ = ["ColumnStats", "Table"]
 
@@ -211,6 +211,61 @@ class Table:
         if self._row_count == 0:
             return 0.0
         return self.true_count(query) / self._row_count
+
+    def true_counts(
+        self, queries: Sequence[RangeQuery] | CompiledQueries
+    ) -> np.ndarray:
+        """Exact row counts for a whole workload (vectorized full scans).
+
+        Accepts a sequence of queries or a pre-compiled plan whose columns are
+        a subset of the table's columns.  The ``(block, rows)`` containment
+        mask is chunked over queries so memory stays bounded.
+        """
+        if isinstance(queries, CompiledQueries):
+            missing = [c for c in queries.columns if c not in self._columns]
+            if missing:
+                raise CatalogError(
+                    f"table {self.name!r} has no columns {missing}"
+                )
+            compiled = queries
+        else:
+            compiled = compile_queries(queries, self.column_names)
+        n = len(compiled)
+        out = np.zeros(n, dtype=np.int64)
+        if n == 0 or self._row_count == 0:
+            return out
+        # Columns no query constrains are all (-inf, +inf) and filter nothing.
+        active = [
+            d
+            for d in range(len(compiled.columns))
+            if not (
+                np.isneginf(compiled.lows[:, d]).all()
+                and np.isposinf(compiled.highs[:, d]).all()
+            )
+        ]
+        if not active:
+            out[:] = self._row_count
+            return out
+        values = {d: self.column(compiled.columns[d]) for d in active}
+        block = max((1 << 22) // self._row_count, 1)
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            mask = np.ones((stop - start, self._row_count), dtype=bool)
+            for d, column_values in values.items():
+                mask &= (column_values[None, :] >= compiled.lows[start:stop, d, None]) & (
+                    column_values[None, :] <= compiled.highs[start:stop, d, None]
+                )
+            out[start:stop] = np.count_nonzero(mask, axis=1)
+        return out
+
+    def true_selectivities(
+        self, queries: Sequence[RangeQuery] | CompiledQueries
+    ) -> np.ndarray:
+        """Exact selectivity of every query (zeros for empty tables)."""
+        counts = self.true_counts(queries)
+        if self._row_count == 0:
+            return np.zeros(counts.shape[0])
+        return counts / self._row_count
 
     def select(self, query: RangeQuery) -> "Table":
         """Return a new table containing only the rows matching ``query``."""

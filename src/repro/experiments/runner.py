@@ -131,5 +131,5 @@ def run_accuracy_comparison(
 
 
 def true_selectivities(table: Table, queries: Sequence[RangeQuery]) -> np.ndarray:
-    """Exact selectivity of every query (convenience wrapper)."""
-    return np.array([table.true_selectivity(q) for q in queries], dtype=float)
+    """Exact selectivity of every query (vectorized convenience wrapper)."""
+    return table.true_selectivities(queries)

@@ -7,12 +7,20 @@ from repro.workload.generators import (
     WorkloadGenerator,
     generate_workload,
 )
-from repro.workload.queries import Interval, QueryRegion, RangeQuery
+from repro.workload.queries import (
+    CompiledQueries,
+    Interval,
+    QueryRegion,
+    RangeQuery,
+    compile_queries,
+)
 
 __all__ = [
     "Interval",
     "RangeQuery",
     "QueryRegion",
+    "CompiledQueries",
+    "compile_queries",
     "WorkloadGenerator",
     "UniformWorkload",
     "DataCenteredWorkload",

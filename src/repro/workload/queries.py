@@ -9,6 +9,12 @@ query class used by histogram, sampling, wavelet and kernel-based estimators.
 The central type is :class:`RangeQuery`.  It is immutable, hashable and keeps
 its constraints in a normalised, sorted form so that two queries expressing
 the same predicate compare equal regardless of construction order.
+
+For high-throughput estimation a workload is *compiled* once into a
+:class:`CompiledQueries` plan (via :func:`compile_queries`): a pair of
+``(n, d)`` bound matrices aligned with a fixed column tuple, the unit every
+estimator's ``estimate_batch`` consumes without touching per-query Python
+objects again.
 """
 
 from __future__ import annotations
@@ -19,9 +25,9 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.errors import InvalidQueryError
+from repro.core.errors import DimensionMismatchError, InvalidQueryError
 
-__all__ = ["Interval", "RangeQuery", "QueryRegion"]
+__all__ = ["Interval", "RangeQuery", "QueryRegion", "CompiledQueries", "compile_queries"]
 
 
 @dataclass(frozen=True, order=True)
@@ -229,6 +235,138 @@ class RangeQuery(Mapping[str, Interval]):
             if value is None or not interval.contains(float(value)):
                 return False
         return True
+
+
+class CompiledQueries:
+    """A workload compiled into bound matrices aligned with a column tuple.
+
+    This is the *query plan* of the estimation layer: ``lows`` and ``highs``
+    are ``(n, d)`` float matrices whose column ``j`` holds the bounds each of
+    the ``n`` queries places on ``columns[j]`` (``-inf`` / ``+inf`` where a
+    query leaves the attribute unconstrained).  Estimators consume these
+    matrices directly, so a workload is translated from Python objects into
+    numpy exactly once per (workload, column tuple) pair.
+
+    Instances are immutable: the bound matrices are marked read-only.
+    """
+
+    __slots__ = ("columns", "lows", "highs")
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        lows: np.ndarray,
+        highs: np.ndarray,
+    ) -> None:
+        columns = tuple(columns)
+        lows = np.array(lows, dtype=float, order="C")
+        highs = np.array(highs, dtype=float, order="C")
+        if lows.ndim != 2 or highs.ndim != 2:
+            raise InvalidQueryError("compiled bounds must be (n, d) matrices")
+        if lows.shape != highs.shape:
+            raise InvalidQueryError(
+                f"lows shape {lows.shape} does not match highs shape {highs.shape}"
+            )
+        if lows.shape[1] != len(columns):
+            raise InvalidQueryError(
+                f"bound matrices have {lows.shape[1]} columns for {len(columns)} attributes"
+            )
+        if np.any(np.isnan(lows)) or np.any(np.isnan(highs)):
+            raise InvalidQueryError("compiled bounds must not contain NaN")
+        if np.any(lows > highs):
+            raise InvalidQueryError("compiled lower bounds must not exceed upper bounds")
+        lows.setflags(write=False)
+        highs.setflags(write=False)
+        object.__setattr__(self, "columns", columns)
+        object.__setattr__(self, "lows", lows)
+        object.__setattr__(self, "highs", highs)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("CompiledQueries is immutable")
+
+    def __len__(self) -> int:
+        return int(self.lows.shape[0])
+
+    @property
+    def query_count(self) -> int:
+        """Number of compiled queries."""
+        return int(self.lows.shape[0])
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of attributes in the plan's column tuple."""
+        return len(self.columns)
+
+    def restrict(self, columns: Sequence[str]) -> "CompiledQueries":
+        """Project the plan onto a subset (or reordering) of its columns.
+
+        Dropping a column is only allowed when no query constrains it —
+        otherwise the projected plan would silently ignore a predicate.
+        """
+        columns = tuple(columns)
+        missing = [c for c in columns if c not in self.columns]
+        if missing:
+            raise DimensionMismatchError(
+                f"compiled plan over {list(self.columns)} has no columns {missing}"
+            )
+        dropped = [d for d, c in enumerate(self.columns) if c not in columns]
+        for d in dropped:
+            if np.any(np.isfinite(self.lows[:, d])) or np.any(np.isfinite(self.highs[:, d])):
+                raise DimensionMismatchError(
+                    f"cannot drop constrained column {self.columns[d]!r} from a compiled plan"
+                )
+        index = [self.columns.index(c) for c in columns]
+        return CompiledQueries(columns, self.lows[:, index], self.highs[:, index])
+
+    def to_queries(self) -> list[RangeQuery]:
+        """Reconstruct one :class:`RangeQuery` per row (loop fallbacks only)."""
+        return [
+            RangeQuery(
+                {
+                    column: Interval(self.lows[i, d], self.highs[i, d])
+                    for d, column in enumerate(self.columns)
+                }
+            )
+            for i in range(self.lows.shape[0])
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledQueries(n={len(self)}, columns={list(self.columns)})"
+
+
+def compile_queries(
+    queries: "Sequence[RangeQuery] | Iterable[RangeQuery] | CompiledQueries",
+    columns: Sequence[str],
+) -> CompiledQueries:
+    """Compile a workload into a :class:`CompiledQueries` plan over ``columns``.
+
+    An already-compiled plan is passed through when its column tuple matches
+    (and re-projected via :meth:`CompiledQueries.restrict` when ``columns`` is
+    a subset), so callers can compile once and hand the same plan to every
+    layer.  A query constraining an attribute outside ``columns`` raises
+    :class:`~repro.core.errors.DimensionMismatchError` — that estimate would
+    silently ignore a predicate otherwise.
+    """
+    columns = tuple(columns)
+    if not columns:
+        raise InvalidQueryError("compile_queries needs at least one column")
+    if isinstance(queries, CompiledQueries):
+        if queries.columns == columns:
+            return queries
+        return queries.restrict(columns)
+    query_list = list(queries)
+    known = set(columns)
+    lows = np.full((len(query_list), len(columns)), -np.inf)
+    highs = np.full((len(query_list), len(columns)), np.inf)
+    for i, query in enumerate(query_list):
+        unknown = set(query.attributes) - known
+        if unknown:
+            raise DimensionMismatchError(
+                f"query constrains {sorted(unknown)} which are not covered by the plan "
+                f"columns {list(columns)}"
+            )
+        lows[i], highs[i] = query.bounds(columns)
+    return CompiledQueries(columns, lows, highs)
 
 
 @dataclass(frozen=True)

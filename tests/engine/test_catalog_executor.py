@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.baselines.histogram import EquiDepthHistogram
-from repro.core.errors import CatalogError
+from repro.core.errors import CatalogError, NotFittedError
 from repro.core.feedback import FeedbackAdaptiveEstimator
 from repro.core.kde import KDESelectivityEstimator
 from repro.data.generators import gaussian_mixture_table, uniform_table
@@ -14,7 +14,7 @@ from repro.engine.catalog import Catalog
 from repro.engine.executor import Executor, evaluate_estimator
 from repro.engine.table import Table
 from repro.workload.generators import UniformWorkload
-from repro.workload.queries import RangeQuery
+from repro.workload.queries import RangeQuery, compile_queries
 
 
 @pytest.fixture()
@@ -147,3 +147,54 @@ class TestEvaluateEstimator:
         result = evaluate_estimator(small_table, estimator, [], name="custom")
         assert result.estimator_name == "custom"
         assert result.query_count == 0
+
+
+class TestBatchPaths:
+    def test_catalog_estimate_batch_without_synopsis_is_exact(
+        self, catalog: Catalog, small_table: Table
+    ) -> None:
+        workload = UniformWorkload(small_table, volume_fraction=0.2, seed=9).generate(20)
+        estimates = catalog.estimate_batch(small_table.name, workload)
+        np.testing.assert_allclose(estimates, small_table.true_selectivities(workload))
+
+    def test_catalog_estimate_batch_uses_synopsis(
+        self, catalog: Catalog, small_table: Table
+    ) -> None:
+        estimator = catalog.attach_estimator(small_table.name, EquiDepthHistogram(buckets=16))
+        workload = UniformWorkload(small_table, volume_fraction=0.2, seed=10).generate(20)
+        np.testing.assert_array_equal(
+            catalog.estimate_batch(small_table.name, workload),
+            estimator.estimate_batch(workload),
+        )
+        cardinalities = catalog.estimate_cardinality_batch(small_table.name, workload)
+        np.testing.assert_array_equal(
+            cardinalities, estimator.estimate_batch(workload) * small_table.row_count
+        )
+
+    def test_run_workload_batch_matches_scalar_execute(self, small_table: Table) -> None:
+        executor = Executor(small_table)
+        estimator = EquiDepthHistogram(buckets=16).fit(small_table)
+        workload = UniformWorkload(small_table, volume_fraction=0.15, seed=11).generate(15)
+        results = executor.run_workload(workload, estimator)
+        for query, result in zip(workload, results):
+            single = Executor(small_table).execute(query, estimator)
+            assert result.true_count == single.true_count
+            assert result.true_fraction == single.true_fraction
+            assert result.estimated_fraction == pytest.approx(
+                single.estimated_fraction, abs=1e-12
+            )
+        assert executor.executed == len(workload)
+
+    def test_evaluate_estimator_accepts_compiled_plan(self, small_table: Table) -> None:
+        estimator = EquiDepthHistogram(buckets=16).fit(small_table)
+        workload = UniformWorkload(small_table, volume_fraction=0.2, seed=12).generate(25)
+        plan = compile_queries(workload, estimator.columns)
+        from_plan = evaluate_estimator(small_table, estimator, plan)
+        from_list = evaluate_estimator(small_table, estimator, workload)
+        np.testing.assert_array_equal(from_plan.estimates, from_list.estimates)
+        np.testing.assert_array_equal(from_plan.truths, from_list.truths)
+        assert from_plan.queries_per_second > 0
+
+    def test_evaluate_estimator_unfitted_raises(self, small_table: Table) -> None:
+        with pytest.raises(NotFittedError):
+            evaluate_estimator(small_table, EquiDepthHistogram(buckets=4), [])

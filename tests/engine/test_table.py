@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.errors import CatalogError, DimensionMismatchError, InvalidParameterError
 from repro.engine.table import ColumnStats, Table
-from repro.workload.queries import RangeQuery
+from repro.workload.queries import RangeQuery, compile_queries
 
 
 @pytest.fixture()
@@ -154,3 +154,36 @@ class TestSampling:
     def test_sample_values_come_from_table(self, table: Table) -> None:
         sample = table.sample(4, np.random.default_rng(1))
         assert set(sample.column("age")).issubset(set(table.column("age")))
+
+
+class TestBatchGroundTruth:
+    def test_true_counts_match_scalar(self, table: Table) -> None:
+        queries = [
+            RangeQuery({"age": (25, 45)}),
+            RangeQuery({"age": (0, 100), "salary": (2500.0, 4500.0)}),
+            RangeQuery({"salary": (10_000.0, 20_000.0)}),
+        ]
+        counts = table.true_counts(queries)
+        np.testing.assert_array_equal(counts, [table.true_count(q) for q in queries])
+        selectivities = table.true_selectivities(queries)
+        np.testing.assert_allclose(
+            selectivities, [table.true_selectivity(q) for q in queries]
+        )
+
+    def test_true_counts_accepts_compiled_plan(self, table: Table) -> None:
+        queries = [RangeQuery({"age": (25, 45)})]
+        plan = compile_queries(queries, ["age"])
+        np.testing.assert_array_equal(table.true_counts(plan), table.true_counts(queries))
+
+    def test_true_counts_unknown_plan_column_raises(self, table: Table) -> None:
+        plan = compile_queries([RangeQuery({"height": (0, 1)})], ["height"])
+        with pytest.raises(CatalogError):
+            table.true_counts(plan)
+
+    def test_true_counts_empty_workload(self, table: Table) -> None:
+        assert table.true_counts([]).shape == (0,)
+
+    def test_true_selectivities_empty_table(self) -> None:
+        empty = Table("empty", {"x": []})
+        values = empty.true_selectivities([RangeQuery({"x": (0, 1)})])
+        np.testing.assert_array_equal(values, [0.0])

@@ -7,8 +7,14 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.errors import InvalidQueryError
-from repro.workload.queries import Interval, QueryRegion, RangeQuery
+from repro.core.errors import DimensionMismatchError, InvalidQueryError
+from repro.workload.queries import (
+    CompiledQueries,
+    Interval,
+    QueryRegion,
+    RangeQuery,
+    compile_queries,
+)
 
 
 class TestInterval:
@@ -154,3 +160,67 @@ class TestQueryRegion:
     def test_invalid_weight_raises(self) -> None:
         with pytest.raises(InvalidQueryError):
             QueryRegion(RangeQuery({"a": (0, 1)}), true_fraction=0.5, weight=0.0)
+
+
+class TestCompiledQueries:
+    def test_compile_aligns_bounds_with_columns(self) -> None:
+        queries = [
+            RangeQuery({"a": (0, 1)}),
+            RangeQuery({"b": (2, 3), "a": (-1, 4)}),
+        ]
+        plan = compile_queries(queries, ["a", "b"])
+        assert plan.columns == ("a", "b")
+        assert len(plan) == 2
+        assert plan.dimensionality == 2
+        np.testing.assert_array_equal(plan.lows, [[0.0, -np.inf], [-1.0, 2.0]])
+        np.testing.assert_array_equal(plan.highs, [[1.0, np.inf], [4.0, 3.0]])
+
+    def test_compile_empty_workload(self) -> None:
+        plan = compile_queries([], ["a"])
+        assert len(plan) == 0
+        assert plan.lows.shape == (0, 1)
+
+    def test_compile_unknown_attribute_raises(self) -> None:
+        with pytest.raises(DimensionMismatchError):
+            compile_queries([RangeQuery({"c": (0, 1)})], ["a", "b"])
+
+    def test_compile_without_columns_raises(self) -> None:
+        with pytest.raises(InvalidQueryError):
+            compile_queries([RangeQuery({"a": (0, 1)})], [])
+
+    def test_compile_passthrough_for_matching_plan(self) -> None:
+        plan = compile_queries([RangeQuery({"a": (0, 1)})], ["a"])
+        assert compile_queries(plan, ["a"]) is plan
+
+    def test_compile_restricts_superset_plan(self) -> None:
+        plan = compile_queries([RangeQuery({"a": (0, 1)})], ["a", "b"])
+        restricted = compile_queries(plan, ["a"])
+        assert restricted.columns == ("a",)
+        np.testing.assert_array_equal(restricted.lows, [[0.0]])
+
+    def test_restrict_refuses_to_drop_constrained_column(self) -> None:
+        plan = compile_queries([RangeQuery({"a": (0, 1), "b": (2, 3)})], ["a", "b"])
+        with pytest.raises(DimensionMismatchError):
+            plan.restrict(["a"])
+
+    def test_immutable(self) -> None:
+        plan = compile_queries([RangeQuery({"a": (0, 1)})], ["a"])
+        with pytest.raises(AttributeError):
+            plan.columns = ("b",)
+        with pytest.raises(ValueError):
+            plan.lows[0, 0] = 5.0
+
+    def test_validation(self) -> None:
+        with pytest.raises(InvalidQueryError):
+            CompiledQueries(("a",), np.zeros((2, 2)), np.ones((2, 2)))
+        with pytest.raises(InvalidQueryError):
+            CompiledQueries(("a",), np.ones((1, 1)), np.zeros((1, 1)))
+        with pytest.raises(InvalidQueryError):
+            CompiledQueries(("a",), np.full((1, 1), np.nan), np.ones((1, 1)))
+
+    def test_to_queries_round_trip(self) -> None:
+        queries = [RangeQuery({"a": (0, 1), "b": (-math.inf, 3)})]
+        plan = compile_queries(queries, ["a", "b"])
+        rebuilt = plan.to_queries()[0]
+        assert rebuilt["a"] == Interval(0, 1)
+        assert rebuilt["b"] == Interval(-math.inf, 3.0)
