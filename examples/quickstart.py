@@ -9,9 +9,14 @@ streaming ADE synopses plus two classical baselines, then *compiles* a
 workload of range queries into a :class:`~repro.workload.queries.CompiledQueries`
 plan and answers it through the batch-first API: one ``estimate_batch`` call
 per estimator, one vectorized ``true_selectivities`` scan for ground truth.
+A final section shows the ingestion half of the same story: the streaming
+synopsis swallows an insert stream through the chunked bulk path at a rate a
+per-tuple loop cannot approach.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro import (
     AdaptiveKDEEstimator,
@@ -23,6 +28,7 @@ from repro import (
     evaluate_estimator,
     gaussian_mixture_table,
     render_table,
+    sudden_drift_stream,
 )
 
 
@@ -74,6 +80,29 @@ def main() -> None:
             rows,
             title="Workload accuracy and throughput (2000 compiled range queries)",
         )
+    )
+
+    # 5. Streaming ingestion: the same synopsis maintained online over an
+    #    insert stream.  insert() accepts batches of any size and folds them
+    #    in chunked, vectorized maintenance steps — the model it builds does
+    #    not depend on how the stream was sliced into insert() calls, and a
+    #    stale mode is forgotten via exponential decay.  Any buffered tail is
+    #    applied automatically before the first estimate (or by flush()).
+    stream = sudden_drift_stream(
+        dimensions=2, batch_size=1000, batches=50, drift_at=(0.5,), shift=8.0, seed=3
+    )
+    synopsis = StreamingADE(max_kernels=256, decay=1 - 1e-4)
+    synopsis.start(stream.column_names)
+    started = time.perf_counter()
+    for batch in stream:
+        synopsis.insert(batch)
+    synopsis.flush()
+    elapsed = time.perf_counter() - started
+    print()
+    print(
+        f"streamed {stream.total_rows} drifting tuples through the synopsis in "
+        f"{elapsed:.2f}s ({stream.total_rows / elapsed:,.0f} rows/s), "
+        f"{synopsis.kernel_count} kernels, {synopsis.memory_bytes()} bytes"
     )
 
 

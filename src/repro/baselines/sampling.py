@@ -155,9 +155,11 @@ class ReservoirSamplingEstimator(StreamingEstimator):
     def insert(self, rows: np.ndarray) -> None:
         self._require_fitted()
         assert self._reservoir is not None
-        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        # The reservoir normalises and validates the batch (empty batches are
+        # a no-op); its seen-counter delta is the number of rows accepted.
+        before = self._reservoir.seen
         self._reservoir.insert(rows)
-        self._row_count += rows.shape[0]
+        self._row_count += self._reservoir.seen - before
 
     def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
         assert self._reservoir is not None

@@ -238,11 +238,28 @@ class SelectivityEstimator(ABC):
 
 
 class StreamingEstimator(SelectivityEstimator):
-    """A synopsis that can be maintained incrementally over an insert stream."""
+    """A synopsis that can be maintained incrementally over an insert stream.
+
+    The maintenance contract is batch first, mirroring the estimation side:
+
+    * ``insert(rows)`` accepts a ``(batch, len(columns))`` matrix of any
+      batch size (a single row may be passed 1-D); **empty batches are a
+      no-op**, never an error.
+    * Implementations may buffer rows internally and fold them in chunked,
+      vectorized maintenance steps, as long as the resulting synopsis does
+      not depend on how the caller sliced the stream into ``insert`` calls.
+    * ``flush()`` applies any internally buffered rows; estimators without
+      an ingestion buffer inherit the default no-op.  Harness code calls it
+      before timing estimation so buffered maintenance work is not billed
+      to the query path.
+    """
 
     @abstractmethod
     def insert(self, rows: np.ndarray) -> None:
         """Fold a batch of new rows (``(batch, len(columns))`` matrix) into the synopsis."""
+
+    def flush(self) -> None:
+        """Apply any internally buffered rows to the synopsis (default: no-op)."""
 
     def insert_row(self, row: Sequence[float]) -> None:
         """Convenience wrapper to insert a single row."""

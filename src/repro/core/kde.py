@@ -134,6 +134,13 @@ class KDESelectivityEstimator(SelectivityEstimator):
                 raise InvalidParameterError("bandwidths must be positive")
             self._bandwidths = self._explicit_bandwidths.copy()
             return
+        if sample.shape[0] == 0:
+            # Zero-row fit: there is nothing to select a bandwidth from.  The
+            # estimator stays usable and answers 0.0 (no sample points means
+            # no mass anywhere); placeholder bandwidths keep every downstream
+            # formula finite.
+            self._bandwidths = np.ones(dims)
+            return
         bandwidths = np.empty(dims)
         for d in range(dims):
             bandwidths[d] = select_bandwidth(

@@ -19,6 +19,42 @@ This is the streaming counterpart of :class:`repro.core.adaptive.AdaptiveKDEEsti
 kernels in dense regions accumulate weight and stay narrow, kernels in sparse
 regions stay wide — the bandwidth adapts locally through the merge process
 itself rather than through explicit Abramson factors.
+
+Bulk-ingestion contract
+-----------------------
+
+``insert(rows)`` is the batch-first maintenance entry point.  It is built
+around a chunked, vectorized pipeline rather than a per-tuple loop:
+
+* **Chunking.**  Incoming rows are gathered into fixed-size sub-chunks of at
+  most ``chunk_size`` tuples (a partial tail stays buffered between calls).
+  Each full chunk is folded into the model with a bounded number of numpy
+  operations: one distance matrix against the current kernels, one grouped
+  moment-preserving merge (``np.add.at`` accumulation of weight / Σwx / Σwx²
+  per target kernel), one batched new-kernel creation for rows that open
+  kernels (near-duplicate rows are coalesced on a ``merge_threshold``-sized
+  grid first), then a single compress-to-budget and prune step.
+* **Batching invariance.**  Chunk boundaries depend only on the number of
+  rows ingested since ``start()`` (and on explicit :meth:`StreamingADE.flush`
+  points), never on how the caller sliced the stream into ``insert`` calls.
+  Feeding the same rows in the same order therefore yields a bit-identical
+  synopsis whether they arrive row-at-a-time or as one huge batch; the
+  ingestion-equivalence suite asserts estimates agree to below ``1e-6``.
+* **Decay semantics.**  The per-tuple exponential decay of the sequential
+  reference path is preserved exactly: a chunk of ``m`` rows scales every
+  pre-chunk kernel weight by ``decay**m`` — applied lazily through a global
+  scale factor that is renormalised before it can underflow — and row ``i``
+  of the chunk enters with weight ``decay**(m-1-i)``, precisely the weight
+  it would have retained under per-tuple decay.
+* **Buffering.**  Up to ``chunk_size - 1`` rows may sit in the pending
+  buffer; every estimation / introspection entry point flushes first, so
+  buffering is invisible to callers (an early flush simply closes the
+  current sub-chunk at that stream position).
+* **Reference path.**  :meth:`StreamingADE.insert_sequential` keeps the
+  original per-tuple maintenance loop.  It is the semantic reference the
+  bulk path is validated against (same distribution modelled; drift-suite
+  accuracy within a few percent) and the baseline of
+  ``benchmarks/bench_ingest_throughput.py``.
 """
 
 from __future__ import annotations
@@ -31,12 +67,22 @@ from scipy import special
 
 from repro.core.errors import InvalidParameterError, StreamError
 from repro.core.estimator import FLOAT_BYTES, StreamingEstimator, register_estimator
+from repro.stream.batches import normalize_batch
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
     from repro.engine.table import Table
 
 __all__ = ["StreamingADE"]
+
+#: Work-buffer bound (in floats) for the per-chunk distance matrices.
+_ASSIGN_BUFFER_ELEMENTS = 1 << 21
+
+#: The lazy decay scale is renormalised once it shrinks past this bound, and
+#: the sub-chunk length is capped so one chunk can never shrink it by more
+#: than the same factor — together this keeps every stored weight far from
+#: the float range limits.
+_SCALE_FLOOR = 1e-100
 
 
 def _normal_interval_mass(
@@ -75,6 +121,11 @@ class StreamingADE(StreamingEstimator):
         weight are discarded during compression.
     smoothing_factor:
         Multiplier on the Scott-rule global smoothing bandwidth.
+    chunk_size:
+        Number of rows folded into the model per vectorized maintenance step
+        (see the module docstring for the bulk-ingestion contract).  Larger
+        chunks amortise more interpreter overhead at the cost of coarser
+        merge decisions; the default is a good trade-off.
     seed:
         Seed for tie-breaking randomness (unused in the default policy but
         kept for reproducible subclasses).
@@ -89,6 +140,7 @@ class StreamingADE(StreamingEstimator):
         merge_threshold: float = 0.25,
         prune_weight: float = 1e-3,
         smoothing_factor: float = 1.0,
+        chunk_size: int = 256,
         seed: int | None = 0,
     ) -> None:
         super().__init__()
@@ -100,20 +152,34 @@ class StreamingADE(StreamingEstimator):
             raise InvalidParameterError("merge_threshold must be non-negative")
         if smoothing_factor <= 0:
             raise InvalidParameterError("smoothing_factor must be positive")
+        if chunk_size < 1:
+            raise InvalidParameterError("chunk_size must be positive")
         self.max_kernels = int(max_kernels)
         self.decay = float(decay)
         self.merge_threshold = float(merge_threshold)
         self.prune_weight = float(prune_weight)
         self.smoothing_factor = float(smoothing_factor)
+        self.chunk_size = int(chunk_size)
         self.seed = seed
+        if self.decay < 1.0:
+            # Cap the sub-chunk length so decay**chunk stays above the scale
+            # floor: stored weights are expressed relative to the lazy decay
+            # scale and must remain representable.
+            safe = max(int(-math.log10(_SCALE_FLOOR) / -math.log10(self.decay)), 1)
+            self._chunk = min(self.chunk_size, safe)
+        else:
+            self._chunk = self.chunk_size
 
         self._dims = 0
         self._means = np.empty((0, 0))
         self._variances = np.empty((0, 0))
         self._weights = np.empty(0)
+        self._decay_scale = 1.0
         self._total_seen = 0.0
         self._domain_low = np.empty(0)
         self._domain_high = np.empty(0)
+        self._pending = np.empty((0, 0))
+        self._pending_count = 0
         # Running (decayed) sums used for the global smoothing bandwidth.
         self._sum_w = 0.0
         self._sum_wx = np.empty(0)
@@ -143,9 +209,12 @@ class StreamingADE(StreamingEstimator):
         self._means = np.empty((0, self._dims))
         self._variances = np.empty((0, self._dims))
         self._weights = np.empty(0)
+        self._decay_scale = 1.0
         self._total_seen = 0.0
         self._domain_low = np.full(self._dims, np.inf)
         self._domain_high = np.full(self._dims, -np.inf)
+        self._pending = np.empty((self._chunk, self._dims))
+        self._pending_count = 0
         self._sum_w = 0.0
         self._sum_wx = np.zeros(self._dims)
         self._sum_wx2 = np.zeros(self._dims)
@@ -154,17 +223,235 @@ class StreamingADE(StreamingEstimator):
 
     # -- streaming maintenance -----------------------------------------------
     def insert(self, rows: np.ndarray) -> None:
-        """Fold a batch of rows into the model, one tuple at a time."""
+        """Fold a batch of rows into the model via the chunked bulk path.
+
+        Empty batches are a no-op.  Rows are processed in ``chunk_size``
+        sub-chunks; a partial tail stays buffered until the next insert, an
+        explicit :meth:`flush`, or any estimation / introspection call.
+        """
         if not self.is_fitted:
             raise StreamError("call fit() or start() before insert()")
-        rows = np.atleast_2d(np.asarray(rows, dtype=float))
-        if rows.shape[1] != self._dims:
-            raise StreamError(
-                f"insert expects rows with {self._dims} attributes, got {rows.shape[1]}"
-            )
+        rows = self._validate_rows(rows)
+        if rows is None:
+            return
+        n = rows.shape[0]
+        chunk = self._chunk
+        start = 0
+        while start < n:
+            if self._pending_count == 0 and n - start >= chunk:
+                self._process_chunk(rows[start : start + chunk])
+                start += chunk
+                continue
+            take = min(chunk - self._pending_count, n - start)
+            self._pending[self._pending_count : self._pending_count + take] = rows[
+                start : start + take
+            ]
+            self._pending_count += take
+            start += take
+            if self._pending_count == chunk:
+                self._process_chunk(self._pending)
+                self._pending_count = 0
+        self._row_count += n
+
+    def insert_sequential(self, rows: np.ndarray) -> None:
+        """Reference per-tuple maintenance loop (the pre-bulk semantics).
+
+        Kept as the semantic baseline the chunked bulk path is validated and
+        benchmarked against; orders of magnitude slower on large batches.
+        """
+        if not self.is_fitted:
+            raise StreamError("call fit() or start() before insert()")
+        rows = self._validate_rows(rows)
+        if rows is None:
+            return
+        self.flush()
+        if self._decay_scale != 1.0:
+            # The per-tuple path decays weights eagerly; fold the lazy scale
+            # in so both paths can interoperate on the same model.
+            self._weights *= self._decay_scale
+            self._decay_scale = 1.0
         for row in rows:
             self._insert_one(row)
         self._row_count += rows.shape[0]
+
+    def flush(self) -> None:
+        """Fold any buffered rows into the kernels (closes the current sub-chunk)."""
+        if self._pending_count:
+            count = self._pending_count
+            self._pending_count = 0
+            self._process_chunk(self._pending[:count])
+
+    def _validate_rows(self, rows: np.ndarray) -> np.ndarray | None:
+        """Normalise ``rows`` to a ``(n, d)`` float matrix; ``None`` when empty."""
+        return normalize_batch(rows, self._dims, StreamError)
+
+    def _process_chunk(self, rows: np.ndarray) -> None:
+        """Fold one sub-chunk into the model with a bounded number of numpy ops."""
+        m, d = rows.shape
+        self._total_seen += float(m)
+        self._domain_low = np.minimum(self._domain_low, rows.min(axis=0))
+        self._domain_high = np.maximum(self._domain_high, rows.max(axis=0))
+
+        if self.decay < 1.0:
+            # Row i of the chunk carries weight decay**(m-1-i): exactly the
+            # weight it would retain at the end of the chunk under per-tuple
+            # decay.  Pre-chunk kernels shrink by decay**m via the lazy scale.
+            row_weights = self.decay ** np.arange(m - 1, -1, -1, dtype=float)
+            chunk_decay = self.decay**m
+            self._sum_w = self._sum_w * chunk_decay + float(row_weights.sum())
+            self._sum_wx = self._sum_wx * chunk_decay + row_weights @ rows
+            self._sum_wx2 = self._sum_wx2 * chunk_decay + row_weights @ (rows * rows)
+            if self._decay_scale < _SCALE_FLOOR:
+                self._weights *= self._decay_scale
+                self._decay_scale = 1.0
+            self._decay_scale *= chunk_decay
+            stored_weights = row_weights / self._decay_scale
+        else:
+            self._sum_w += float(m)
+            self._sum_wx += rows.sum(axis=0)
+            self._sum_wx2 += (rows * rows).sum(axis=0)
+            stored_weights = np.ones(m)
+
+        smoothing = self._smoothing_bandwidths()
+        kernels = self._weights.size
+
+        if kernels:
+            nearest, scores = self._nearest_kernels(rows, smoothing)
+            merge_mask = scores <= self.merge_threshold
+        else:
+            nearest = np.zeros(m, dtype=np.int64)
+            merge_mask = np.zeros(m, dtype=bool)
+
+        # Grouped moment-preserving merges: accumulate (weight, Σwx, Σwx²)
+        # per target kernel, from both threshold merges and — under budget
+        # pressure — catchment absorption of whole candidate groups.
+        acc_w = np.zeros(kernels)
+        acc_wx = np.zeros((kernels, d))
+        acc_wx2 = np.zeros((kernels, d))
+        if merge_mask.any():
+            targets = nearest[merge_mask]
+            w = stored_weights[merge_mask]
+            r = rows[merge_mask]
+            np.add.at(acc_w, targets, w)
+            np.add.at(acc_wx, targets, w[:, None] * r)
+            np.add.at(acc_wx2, targets, w[:, None] * r * r)
+
+        new_w: np.ndarray | None = None
+        new_means: np.ndarray | None = None
+        new_vars: np.ndarray | None = None
+        leftover = ~merge_mask
+        if leftover.any():
+            new_w, new_wx, new_wx2 = self._group_rows(
+                rows[leftover], stored_weights[leftover], smoothing
+            )
+            new_means = new_wx / new_w[:, None]
+            new_vars = np.maximum(new_wx2 / new_w[:, None] - new_means**2, 0.0)
+            if kernels and kernels + new_w.size > self.max_kernels:
+                # Budget pressure: absorb candidates that fall inside the
+                # natural catchment area of an existing kernel (the expected
+                # kernel spacing over the observed domain); only genuinely
+                # new structure opens kernels (the M-Kernel maintenance step).
+                cnearest, _ = self._nearest_kernels(new_means, smoothing)
+                spacing = self._kernel_spacing()
+                absorb = (np.abs(new_means - self._means[cnearest]) <= spacing).all(axis=1)
+                if absorb.any():
+                    t = cnearest[absorb]
+                    np.add.at(acc_w, t, new_w[absorb])
+                    np.add.at(acc_wx, t, new_wx[absorb])
+                    np.add.at(acc_wx2, t, new_wx2[absorb])
+                    keep = ~absorb
+                    new_w = new_w[keep]
+                    new_means = new_means[keep]
+                    new_vars = new_vars[keep]
+
+        touched = acc_w > 0
+        if touched.any():
+            w0 = self._weights[touched]
+            m0 = self._means[touched]
+            v0 = self._variances[touched]
+            total = w0 + acc_w[touched]
+            mean = (w0[:, None] * m0 + acc_wx[touched]) / total[:, None]
+            var = (w0[:, None] * (v0 + m0**2) + acc_wx2[touched]) / total[:, None] - mean**2
+            self._weights[touched] = total
+            self._means[touched] = mean
+            self._variances[touched] = np.maximum(var, 0.0)
+
+        if new_w is not None and new_w.size:
+            self._means = np.concatenate([self._means, new_means])
+            self._variances = np.concatenate([self._variances, new_vars])
+            self._weights = np.concatenate([self._weights, new_w])
+
+        if self._weights.size > self.max_kernels:
+            self._compress_to(self.max_kernels)
+        # Prune after every decayed chunk regardless of capacity (the
+        # original per-tuple path only pruned on the at-capacity branch, so
+        # stale kernels could squat on budget while below max_kernels).
+        if self.decay < 1.0:
+            self._prune()
+
+    def _nearest_kernels(
+        self, points: np.ndarray, smoothing: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Index of and max-norm score to the nearest kernel for every point.
+
+        Chunked over points so the ``(block, K)`` distance buffer stays cache
+        resident regardless of batch size.
+        """
+        n = points.shape[0]
+        kernels = self._weights.size
+        nearest = np.empty(n, dtype=np.int64)
+        scores = np.empty(n)
+        scaled_means = self._means / smoothing
+        scaled_points = points / smoothing
+        block = max(_ASSIGN_BUFFER_ELEMENTS // max(kernels, 1), 1)
+        # Two (block, K) work buffers, filled per attribute with in-place
+        # ufuncs: one 3-D (block, K, d) tensor plus an axis reduce is several
+        # times slower than d passes over contiguous 2-D arrays.
+        best = np.empty((min(block, n), kernels))
+        work = np.empty_like(best)
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            rows = stop - start
+            dist = best[:rows]
+            np.subtract(
+                scaled_points[start:stop, 0, None], scaled_means[None, :, 0], out=dist
+            )
+            np.abs(dist, out=dist)
+            for d in range(1, self._dims):
+                other = work[:rows]
+                np.subtract(
+                    scaled_points[start:stop, d, None], scaled_means[None, :, d], out=other
+                )
+                np.abs(other, out=other)
+                np.maximum(dist, other, out=dist)
+            idx = dist.argmin(axis=1)
+            nearest[start:stop] = idx
+            scores[start:stop] = dist[np.arange(rows), idx]
+        return nearest, scores
+
+    def _group_rows(
+        self, rows: np.ndarray, weights: np.ndarray, smoothing: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Coalesce near-duplicate rows on a ``merge_threshold``-sized grid.
+
+        Returns per-group ``(weight, Σwx, Σwx²)`` so each group can be
+        appended as one kernel — or absorbed into an existing one — without
+        losing moments.  Mirrors the sequential path's near-duplicate
+        coalescing, which would otherwise exhaust the budget on identical
+        points arriving inside one chunk.
+        """
+        width = max(self.merge_threshold, 1e-9) * smoothing
+        cells = np.floor(np.clip(rows / width, -(2.0**62), 2.0**62)).astype(np.int64)
+        _, inverse = np.unique(cells, axis=0, return_inverse=True)
+        inverse = np.asarray(inverse).reshape(-1)
+        groups = int(inverse.max()) + 1
+        w = np.zeros(groups)
+        wx = np.zeros((groups, rows.shape[1]))
+        wx2 = np.zeros((groups, rows.shape[1]))
+        np.add.at(w, inverse, weights)
+        np.add.at(wx, inverse, weights[:, None] * rows)
+        np.add.at(wx2, inverse, weights[:, None] * rows * rows)
+        return w, wx, wx2
 
     def _insert_one(self, row: np.ndarray) -> None:
         if self.decay < 1.0 and self._weights.size:
@@ -196,6 +483,10 @@ class StreamingADE(StreamingEstimator):
                 self._merge_point(nearest, row)
             else:
                 self._append_kernel(row)
+            # Prune below capacity too: under decay, stale kernels must not
+            # squat on budget until the model happens to fill up.
+            if self.decay < 1.0:
+                self._prune()
             return
 
         # At capacity.  Absorb the tuple into its nearest kernel when it falls
@@ -240,7 +531,11 @@ class StreamingADE(StreamingEstimator):
         self._variances[index] = np.maximum(new_var, 0.0)
 
     def _prune(self) -> None:
-        """Drop kernels whose weight decayed to insignificance."""
+        """Drop kernels whose weight decayed to insignificance.
+
+        Operates on the stored (scale-relative) weights: the threshold is a
+        fraction of the mean weight, so the lazy decay scale cancels.
+        """
         if self._weights.size == 0:
             return
         threshold = self.prune_weight * float(self._weights.mean())
@@ -264,60 +559,105 @@ class StreamingADE(StreamingEstimator):
         target = target_kernels if target_kernels is not None else self.max_kernels
         if target < 1:
             raise InvalidParameterError("target_kernels must be positive")
+        self.flush()
+        self._compress_to(target)
+
+    def _compress_to(self, target: int) -> None:
+        """Batched compaction: merge disjoint closest pairs until ≤ ``target``.
+
+        Each round computes the pairwise max-norm distance matrix once, then
+        greedily merges up to ``excess`` disjoint closest pairs; conflicts
+        (a kernel appearing in two close pairs) roll over to the next round.
+        """
         while self._weights.size > target:
-            self._merge_closest_pair()
+            kernels = self._weights.size
+            excess = kernels - target
+            smoothing = self._smoothing_bandwidths()
+            normalised = self._means / smoothing
+            diff = np.abs(normalised[:, None, :] - normalised[None, :, :]).max(axis=2)
+            iu, ju = np.triu_indices(kernels, k=1)
+            flat = diff[iu, ju]
+            # Only the smallest distances can yield `excess` disjoint pairs;
+            # pre-select a few times that many so the greedy scan stays short.
+            limit = min(flat.size, 4 * excess + 16)
+            candidates = np.argpartition(flat, limit - 1)[:limit]
+            candidates = candidates[np.argsort(flat[candidates], kind="stable")]
+            used = np.zeros(kernels, dtype=bool)
+            left: list[int] = []
+            right: list[int] = []
+            for a, b in zip(iu[candidates], ju[candidates]):
+                if used[a] or used[b]:
+                    continue
+                used[a] = used[b] = True
+                left.append(int(a))
+                right.append(int(b))
+                if len(left) == excess:
+                    break
+            i = np.asarray(left, dtype=np.int64)
+            j = np.asarray(right, dtype=np.int64)
+            wi = self._weights[i]
+            wj = self._weights[j]
+            total = wi + wj
+            mean = (
+                wi[:, None] * self._means[i] + wj[:, None] * self._means[j]
+            ) / total[:, None]
+            var = (
+                wi[:, None] * (self._variances[i] + self._means[i] ** 2)
+                + wj[:, None] * (self._variances[j] + self._means[j] ** 2)
+            ) / total[:, None] - mean**2
+            self._weights[i] = total
+            self._means[i] = mean
+            self._variances[i] = np.maximum(var, 0.0)
+            keep = np.ones(kernels, dtype=bool)
+            keep[j] = False
+            self._means = self._means[keep]
+            self._variances = self._variances[keep]
+            self._weights = self._weights[keep]
 
     def _merge_closest_pair(self) -> None:
-        smoothing = self._smoothing_bandwidths()
-        normalised = self._means / smoothing
-        # Pairwise max-norm distances; O(K²) but only used by compress().
-        diff = np.abs(normalised[:, None, :] - normalised[None, :, :]).max(axis=2)
-        np.fill_diagonal(diff, np.inf)
-        i, j = np.unravel_index(int(np.argmin(diff)), diff.shape)
-        wi, wj = self._weights[i], self._weights[j]
-        total = wi + wj
-        mean = (wi * self._means[i] + wj * self._means[j]) / total
-        var = (
-            wi * (self._variances[i] + self._means[i] ** 2)
-            + wj * (self._variances[j] + self._means[j] ** 2)
-        ) / total - mean**2
-        self._weights[i] = total
-        self._means[i] = mean
-        self._variances[i] = np.maximum(var, 0.0)
-        keep = np.ones(self._weights.size, dtype=bool)
-        keep[j] = False
-        self._means = self._means[keep]
-        self._variances = self._variances[keep]
-        self._weights = self._weights[keep]
+        """Merge the single closest kernel pair (sequential reference path)."""
+        if self._weights.size > 1:
+            self._compress_to(self._weights.size - 1)
 
     # -- model introspection -----------------------------------------------------
     @property
     def kernel_count(self) -> int:
         """Number of cluster kernels currently stored."""
+        self.flush()
         return int(self._weights.size)
 
     @property
     def kernel_weights(self) -> np.ndarray:
-        """Copy of the kernel weights."""
-        return self._weights.copy()
+        """Copy of the kernel weights (with the lazy decay scale applied)."""
+        self.flush()
+        return self._weights * self._decay_scale
 
     @property
     def kernel_means(self) -> np.ndarray:
         """Copy of the kernel mean vectors (``(K, d)``)."""
+        self.flush()
         return self._means.copy()
 
     @property
     def kernel_variances(self) -> np.ndarray:
         """Copy of the per-attribute kernel variances (``(K, d)``)."""
+        self.flush()
         return self._variances.copy()
 
     @property
     def effective_count(self) -> float:
         """Decayed number of tuples the model currently represents."""
-        return float(self._weights.sum())
+        self.flush()
+        return float(self._weights.sum() * self._decay_scale)
 
     def memory_bytes(self) -> int:
+        """Footprint of the synopsis proper (kernels + running sums).
+
+        The transient per-chunk ingestion buffer is working memory, not part
+        of the shipped statistics, and is flushed before accounting.
+        """
         self._require_fitted()
+        self.flush()
         kernel_floats = self._weights.size * (2 * self._dims + 1)
         running_floats = 2 * self._dims + self._sum_wx.size + self._sum_wx2.size + 1
         return int((kernel_floats + running_floats) * FLOAT_BYTES)
@@ -361,6 +701,7 @@ class StreamingADE(StreamingEstimator):
         The ``(block, K)`` buffer of per-kernel masses is kept bounded by
         chunking over queries, so arbitrarily large batches stay in cache.
         """
+        self.flush()
         n = lows.shape[0]
         if self._weights.size == 0:
             return np.zeros(n)
@@ -388,6 +729,7 @@ class StreamingADE(StreamingEstimator):
     def density(self, points: np.ndarray) -> np.ndarray:
         """Evaluate the mixture density at ``points`` (``(m, d)`` matrix)."""
         self._require_fitted()
+        self.flush()
         points = np.atleast_2d(np.asarray(points, dtype=float))
         if points.shape[1] != self._dims:
             raise InvalidParameterError(f"density expects {self._dims}-dimensional points")

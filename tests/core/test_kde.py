@@ -200,3 +200,33 @@ class TestDensity:
         low, high = table.domain()["x0"]
         gap_point = np.array([[(low + high) / 2.0]])
         assert estimator.density(dense_point)[0] > estimator.density(gap_point)[0]
+
+
+class TestZeroRowFit:
+    """Zero-row relations must fit gracefully and estimate 0.0 (no mass)."""
+
+    def _empty_table(self, dimensions: int = 2) -> Table:
+        return Table.from_array(
+            "empty", np.empty((0, dimensions)), [f"x{i}" for i in range(dimensions)]
+        )
+
+    @pytest.mark.parametrize("rule", ["scott", "silverman", "lscv", "mlcv"])
+    def test_fit_and_estimate_zero(self, rule: str) -> None:
+        estimator = KDESelectivityEstimator(sample_size=32, bandwidth_rule=rule)
+        estimator.fit(self._empty_table())
+        assert estimator.is_fitted
+        assert np.all(np.isfinite(estimator.bandwidths))
+        query = RangeQuery({"x0": (0.0, 1.0), "x1": (-1.0, 1.0)})
+        assert estimator.estimate(query) == 0.0
+        np.testing.assert_array_equal(estimator.estimate_batch([query, query]), 0.0)
+        assert estimator.memory_bytes() >= 0
+
+    def test_adaptive_zero_row_fit(self) -> None:
+        from repro.core.adaptive import AdaptiveKDEEstimator
+
+        estimator = AdaptiveKDEEstimator(sample_size=32).fit(self._empty_table(1))
+        assert estimator.estimate(RangeQuery({"x0": (0.0, 1.0)})) == 0.0
+
+    def test_density_zero_everywhere(self) -> None:
+        estimator = KDESelectivityEstimator(sample_size=32).fit(self._empty_table(1))
+        np.testing.assert_array_equal(estimator.density(np.zeros((4, 1))), 0.0)

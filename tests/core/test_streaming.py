@@ -166,3 +166,110 @@ class TestEstimates:
         assert not np.allclose(estimator.kernel_means, 0.0)
         assert estimator.kernel_weights.shape[0] == estimator.kernel_count
         assert estimator.kernel_variances.shape == estimator.kernel_means.shape
+
+
+class TestEmptyInserts:
+    def test_empty_2d_insert_is_noop(self) -> None:
+        estimator = StreamingADE(max_kernels=8).start(["a", "b"])
+        estimator.insert(np.empty((0, 2)))
+        assert estimator.row_count == 0
+        assert estimator.kernel_count == 0
+
+    def test_empty_1d_insert_is_noop(self) -> None:
+        estimator = StreamingADE(max_kernels=8).start(["a", "b"])
+        estimator.insert(np.empty(0))
+        estimator.insert([])
+        assert estimator.row_count == 0
+        assert estimator.kernel_count == 0
+
+    def test_empty_insert_between_batches_changes_nothing(self) -> None:
+        rng = np.random.default_rng(11)
+        data = rng.normal(size=(300, 1))
+        with_empty = StreamingADE(max_kernels=16, chunk_size=64).start(["x0"])
+        without = StreamingADE(max_kernels=16, chunk_size=64).start(["x0"])
+        with_empty.insert(data[:100])
+        with_empty.insert(np.empty((0, 1)))
+        with_empty.insert(data[100:])
+        without.insert(data)
+        query = RangeQuery({"x0": (-1.0, 1.0)})
+        assert with_empty.estimate(query) == without.estimate(query)
+
+
+class TestPruneBelowCapacity:
+    def test_decayed_stale_kernels_pruned_below_capacity(self) -> None:
+        """Regression: pruning used to run only on the at-capacity branch.
+
+        With decay < 1 and the kernel count below ``max_kernels``, kernels of
+        a long-abandoned mode must still be dropped once their weight decays
+        to insignificance instead of squatting on budget forever.
+        """
+        estimator = StreamingADE(max_kernels=256, decay=0.99, prune_weight=1e-3)
+        estimator.start(["x0"])
+        rng = np.random.default_rng(5)
+        estimator.insert(rng.normal(0.0, 0.5, size=(500, 1)))
+        assert estimator.kernel_count < estimator.max_kernels  # below capacity
+        bytes_before = estimator.memory_bytes()
+        # 3000 tuples at decay 0.99 shrink the old mode's weight by ~1e-13.
+        estimator.insert(rng.normal(100.0, 0.5, size=(3000, 1)))
+        assert estimator.kernel_count < estimator.max_kernels
+        assert np.all(estimator.kernel_means[:, 0] > 50.0), "stale kernels survived"
+        assert estimator.memory_bytes() <= bytes_before * 2
+        assert estimator.effective_count < 500.0
+
+    def test_sequential_path_also_prunes_below_capacity(self) -> None:
+        estimator = StreamingADE(max_kernels=256, decay=0.99)
+        estimator.start(["x0"])
+        rng = np.random.default_rng(6)
+        estimator.insert_sequential(rng.normal(0.0, 0.5, size=(200, 1)))
+        # While still below capacity, 1500 decayed inserts must purge the
+        # abandoned mode's kernels (the old code never pruned on this branch).
+        estimator.insert_sequential(rng.normal(100.0, 0.5, size=(1500, 1)))
+        assert np.all(estimator.kernel_means[:, 0] > 50.0)
+
+    def test_landmark_model_never_prunes_fresh_weight(self) -> None:
+        estimator = StreamingADE(max_kernels=16, decay=1.0).start(["x0"])
+        estimator.insert(np.random.default_rng(7).normal(size=(5000, 1)))
+        assert estimator.effective_count == pytest.approx(5000.0, rel=1e-9)
+
+
+class TestBulkIngestion:
+    def test_partial_chunk_is_visible_to_estimates(self) -> None:
+        # Fewer rows than chunk_size: the flush-on-query path must fold the
+        # pending buffer in before answering.
+        estimator = StreamingADE(max_kernels=16, chunk_size=256).start(["x0"])
+        estimator.insert(np.zeros((5, 1)))
+        assert estimator.row_count == 5
+        assert estimator.kernel_count >= 1
+        assert estimator.estimate(RangeQuery({"x0": (-1.0, 1.0)})) == pytest.approx(1.0)
+
+    def test_flush_is_idempotent(self) -> None:
+        estimator = StreamingADE(max_kernels=16, chunk_size=64).start(["x0"])
+        estimator.insert(np.random.default_rng(8).normal(size=(30, 1)))
+        estimator.flush()
+        count = estimator.kernel_count
+        estimator.flush()
+        assert estimator.kernel_count == count
+
+    def test_chunk_size_validation(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            StreamingADE(chunk_size=0)
+
+    def test_insert_sequential_requires_start(self) -> None:
+        with pytest.raises(StreamError):
+            StreamingADE().insert_sequential(np.zeros((1, 1)))
+
+    def test_bulk_and_sequential_interoperate(self) -> None:
+        # Switching paths mid-stream folds the lazy decay scale correctly.
+        rng = np.random.default_rng(9)
+        estimator = StreamingADE(max_kernels=32, decay=0.999).start(["x0"])
+        estimator.insert(rng.normal(size=(300, 1)))
+        estimator.insert_sequential(rng.normal(size=(50, 1)))
+        estimator.insert(rng.normal(size=(300, 1)))
+        assert estimator.row_count == 650
+        assert estimator.kernel_count <= 32
+        assert 0.0 <= estimator.estimate(RangeQuery({"x0": (-1.0, 1.0)})) <= 1.0
+
+    def test_wrong_width_empty_batch_still_raises(self) -> None:
+        estimator = StreamingADE(max_kernels=8).start(["a", "b"])
+        with pytest.raises(StreamError):
+            estimator.insert(np.empty((0, 5)))

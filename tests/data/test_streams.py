@@ -90,3 +90,38 @@ class TestGradualDrift:
         # Monotone (up to sampling noise) rather than a single jump.
         diffs = np.diff(means)
         assert np.mean(diffs > -0.5) > 0.8
+
+
+class TestBreakpointClampingAndDeduplication:
+    def test_drift_near_one_still_fires(self) -> None:
+        """Regression: drift_at=0.999 with 100 batches rounded to batch 100,
+        one past the end, so the drift silently never fired."""
+        stream = sudden_drift_stream(
+            batch_size=400, batches=100, drift_at=(0.999,), shift=10.0, seed=8
+        )
+        batches = list(stream)
+        first = float(np.mean(batches[0]))
+        last = float(np.mean(batches[-1]))
+        assert last - first == pytest.approx(10.0, abs=1.5)
+
+    def test_drift_near_zero_still_observable(self) -> None:
+        # A breakpoint rounding to batch 0 would shift *every* batch, which is
+        # indistinguishable from no drift; clamping to batch 1 keeps at least
+        # one pre-drift batch.
+        stream = sudden_drift_stream(
+            batch_size=400, batches=100, drift_at=(0.001,), shift=10.0, seed=9
+        )
+        batches = list(stream)
+        assert float(np.mean(batches[1])) - float(np.mean(batches[0])) == pytest.approx(
+            10.0, abs=1.5
+        )
+
+    def test_nearby_breakpoints_deduplicate_to_single_jump(self) -> None:
+        """Regression: two fractions rounding to the same batch doubled the jump."""
+        stream = sudden_drift_stream(
+            batch_size=400, batches=100, drift_at=(0.5, 0.504), shift=10.0, seed=10
+        )
+        batches = list(stream)
+        first = float(np.mean(batches[0]))
+        last = float(np.mean(batches[-1]))
+        assert last - first == pytest.approx(10.0, abs=1.5)  # one shift, not two

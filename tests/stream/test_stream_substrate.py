@@ -124,3 +124,69 @@ class TestSlidingWindow:
         assert window.size == 0
         assert window.seen == 4
         assert window.contents().shape == (0, 1)
+
+
+class TestEmptyBatches:
+    def test_reservoir_empty_insert_is_noop(self) -> None:
+        sampler = ReservoirSampler(capacity=5, dimensions=2, seed=0)
+        sampler.insert(np.empty((0, 2)))
+        sampler.insert(np.empty(0))
+        assert sampler.size == 0
+        assert sampler.seen == 0
+
+    def test_decayed_reservoir_empty_insert_is_noop(self) -> None:
+        sampler = DecayedReservoirSampler(capacity=5, dimensions=2, seed=0)
+        sampler.insert(np.empty((0, 2)))
+        assert sampler.size == 0
+
+    def test_window_empty_insert_is_noop(self) -> None:
+        window = SlidingWindow(capacity=5, dimensions=1)
+        window.insert(np.empty((0, 1)))
+        window.insert(np.empty(0))
+        assert window.size == 0
+        assert window.seen == 0
+
+
+class TestVectorizedEquivalence:
+    def test_window_bulk_matches_row_at_a_time(self) -> None:
+        data = np.arange(37, dtype=float).reshape(-1, 1)
+        bulk = SlidingWindow(capacity=7, dimensions=1)
+        rowwise = SlidingWindow(capacity=7, dimensions=1)
+        bulk.insert(data)
+        for row in data:
+            rowwise.insert(row)
+        np.testing.assert_array_equal(bulk.contents(), rowwise.contents())
+        assert bulk.seen == rowwise.seen
+
+    def test_window_inserts_crossing_wraparound(self) -> None:
+        window = SlidingWindow(capacity=5, dimensions=1)
+        window.insert(np.arange(3, dtype=float).reshape(-1, 1))
+        window.insert(np.arange(3, 7, dtype=float).reshape(-1, 1))  # wraps
+        np.testing.assert_array_equal(window.contents()[:, 0], [2.0, 3.0, 4.0, 5.0, 6.0])
+
+    def test_window_oversized_batch_keeps_last_rows(self) -> None:
+        window = SlidingWindow(capacity=4, dimensions=1)
+        window.insert(np.ones((2, 1)))
+        window.insert(np.arange(100, dtype=float).reshape(-1, 1))
+        np.testing.assert_array_equal(window.contents()[:, 0], [96.0, 97.0, 98.0, 99.0])
+
+    @pytest.mark.parametrize("sampler_type", [ReservoirSampler, DecayedReservoirSampler])
+    def test_reservoir_bulk_matches_row_at_a_time(self, sampler_type) -> None:
+        # One uniform variate is consumed per replacement row in stream
+        # order, so the same seed yields the same reservoir for any batching.
+        data = np.random.default_rng(3).uniform(size=(123, 2))
+        bulk = sampler_type(capacity=11, dimensions=2, seed=42)
+        rowwise = sampler_type(capacity=11, dimensions=2, seed=42)
+        bulk.insert(data)
+        for row in data:
+            rowwise.insert(row)
+        np.testing.assert_array_equal(bulk.sample(), rowwise.sample())
+        assert bulk.seen == rowwise.seen == 123
+
+    def test_wrong_width_empty_batch_still_raises(self) -> None:
+        # A zero-row batch with an explicit wrong width is a schema bug, not
+        # an empty no-op: surface it immediately.
+        with pytest.raises(InvalidParameterError):
+            ReservoirSampler(capacity=5, dimensions=2, seed=0).insert(np.empty((0, 5)))
+        with pytest.raises(InvalidParameterError):
+            SlidingWindow(capacity=5, dimensions=2).insert(np.empty((0, 5)))
