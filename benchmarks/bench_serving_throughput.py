@@ -1,0 +1,135 @@
+"""Serving throughput: cached EstimatorServer vs. the bare estimator.
+
+Two measurements on the same fitted model and compiled workload:
+
+* **cached path** — repeated ``estimate_batch`` calls against an
+  :class:`~repro.serve.EstimatorServer`, which answers warm repeats from the
+  plan-keyed result cache.  The acceptance gate requires at least 2x the
+  uncached throughput (in practice the gap is orders of magnitude — a cache
+  hit is a dict lookup).
+* **concurrent ingest-while-serve** — reader threads hammer the server while
+  a writer thread keeps checking out a private copy, ingesting new rows and
+  publishing fresh generations; reported as sustained reads/sec under live
+  model swaps (no gate: thread scheduling on shared hardware is noisy).
+
+Set ``BENCH_SERVE_SMOKE=1`` for the reduced CI smoke configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.core.streaming import StreamingADE
+from repro.data.generators import gaussian_mixture_table
+from repro.experiments.runner import TableResult
+from repro.serve import EstimatorServer
+from repro.workload.generators import UniformWorkload
+from repro.workload.queries import compile_queries
+
+SMOKE = os.environ.get("BENCH_SERVE_SMOKE") == "1"
+
+#: Acceptance gate: cached-batch throughput over the uncached path.
+MIN_CACHED_SPEEDUP = 2.0
+
+
+def serving_throughput(
+    rows: int = 50_000,
+    queries: int = 500,
+    repeats: int = 50,
+    readers: int = 4,
+    serve_seconds: float = 1.0,
+    seed: int = 7,
+) -> TableResult:
+    """Batch QPS of the cached server vs. the bare model, plus live-swap serving."""
+    table = gaussian_mixture_table(
+        rows=rows, dimensions=2, components=4, separation=4.0, seed=seed, name="bench"
+    )
+    model = StreamingADE(max_kernels=256).fit(table)
+    workload = UniformWorkload(table, volume_fraction=0.15, seed=seed + 1).generate(queries)
+    plan = compile_queries(workload, model.columns)
+
+    # Uncached baseline: the bare estimator answers every repeat from scratch.
+    model.estimate_batch(plan)  # warm-up (first call pays one-time setup)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        model.estimate_batch(plan)
+    bare_seconds = time.perf_counter() - start
+    bare_qps = repeats * len(plan) / max(bare_seconds, 1e-9)
+
+    # Cached path: same repeats through the server (first call is the miss).
+    server = EstimatorServer(model, cache_size=64)
+    server.estimate_batch(plan)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        server.estimate_batch(plan)
+    cached_seconds = time.perf_counter() - start
+    cached_qps = repeats * len(plan) / max(cached_seconds, 1e-9)
+
+    # Concurrent ingest-while-serve: readers vs. one publishing writer.
+    stop = threading.Event()
+    read_batches = [0] * readers
+    publishes = [0]
+
+    def reader(slot: int) -> None:
+        while not stop.is_set():
+            server.estimate_batch(plan)
+            read_batches[slot] += 1
+
+    def writer() -> None:
+        rng = np.random.default_rng(seed + 2)
+        while not stop.is_set():
+            fresh = server.checkout()
+            fresh.insert(rng.normal(0.0, 1.0, size=(1_000, 2)))
+            fresh.flush()
+            server.publish(fresh)
+            publishes[0] += 1
+
+    threads = [threading.Thread(target=reader, args=(i,)) for i in range(readers)] + [
+        threading.Thread(target=writer)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(serve_seconds)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    concurrent_qps = sum(read_batches) * len(plan) / max(elapsed, 1e-9)
+
+    result = TableResult(
+        "Serving throughput: cached server vs. bare estimator",
+        ["path", "queries_per_sec", "speedup_vs_bare", "notes"],
+        [
+            ["bare estimate_batch", bare_qps, 1.0, f"{repeats} repeats"],
+            ["server (warm cache)", cached_qps, cached_qps / bare_qps,
+             f"hit rate {server.cache_info().hit_rate:.0%}"],
+            ["server, concurrent", concurrent_qps, concurrent_qps / bare_qps,
+             f"{readers} readers, {publishes[0]} live publishes"],
+        ],
+        notes=(
+            f"{queries}-query compiled plan over a {rows}-row 2-D mixture; "
+            f"gate: warm-cache throughput ≥ {MIN_CACHED_SPEEDUP:.0f}x bare"
+        ),
+    )
+    return result
+
+
+def test_serving_throughput(report):
+    kwargs = (
+        dict(rows=10_000, queries=100, repeats=10, readers=2, serve_seconds=0.3)
+        if SMOKE
+        else {}
+    )
+    result = report(serving_throughput, **kwargs)
+    rows = {r[0]: r for r in result.rows}
+    speedup = rows["server (warm cache)"][2]
+    assert speedup >= MIN_CACHED_SPEEDUP, (
+        f"cached-batch speedup {speedup:.1f}x < {MIN_CACHED_SPEEDUP:.0f}x"
+    )
+    # Liveness: the writer must have published while readers were served.
+    assert rows["server, concurrent"][1] > 0

@@ -1,0 +1,142 @@
+"""Persistence & concurrent serving: save → restart → restore → serve.
+
+Run with::
+
+    python examples/persistence_serving.py
+
+The walkthrough mirrors the lifecycle of database statistics in a production
+system:
+
+1. **Build & save** — fit a catalog of synopses over two relations and
+   publish them into a versioned on-disk :class:`~repro.persist.ModelStore`
+   (atomic write-then-rename publishes, ``LATEST`` pointers, prune policy).
+2. **Restart** — throw the fitted objects away, as a process restart would.
+3. **Restore** — rebuild the catalog's statistics from the store without
+   touching the base tables: ``Catalog.restore`` re-attaches the latest
+   published version of every synopsis, bitwise-identical to the saved one.
+4. **Serve while ingesting** — front the streaming synopsis with an
+   :class:`~repro.serve.EstimatorServer`: reader threads answer cached batch
+   estimates against the published model while a writer thread keeps
+   ingesting new rows into a private copy (``checkout``) and atomically
+   publishes fresh versions (``publish``), each of which bumps the serving
+   generation and invalidates the result cache.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    Catalog,
+    EquiDepthHistogram,
+    EstimatorServer,
+    ModelStore,
+    StreamingADE,
+    UniformWorkload,
+    compile_queries,
+    gaussian_mixture_table,
+    uniform_table,
+)
+
+
+def build_and_save(store: ModelStore) -> tuple[Catalog, dict[str, int]]:
+    """Step 1: fit synopses for two relations and publish them."""
+    catalog = Catalog()
+    catalog.add_table(
+        gaussian_mixture_table(rows=30_000, dimensions=2, components=4, seed=7, name="orders")
+    )
+    catalog.add_table(uniform_table(rows=10_000, dimensions=1, seed=3, name="users"))
+    catalog.attach_estimator("orders", StreamingADE(max_kernels=128))
+    catalog.attach_estimator("users", EquiDepthHistogram(buckets=64))
+    versions = catalog.save(store)
+    return catalog, versions
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as root:
+        store = ModelStore(Path(root) / "models", keep_versions=5)
+
+        # -- 1. build & save ------------------------------------------------
+        catalog, versions = build_and_save(store)
+        workload = UniformWorkload(catalog.table("orders"), seed=11).generate(500)
+        plan = compile_queries(workload, catalog.table("orders").column_names)
+        before = catalog.estimate_batch("orders", plan)
+        print(f"published {versions} into {store.root}")
+
+        # -- 2. "restart": drop every fitted object -------------------------
+        saved_header = store.describe("orders")
+        del catalog
+        print(
+            f"restart... (store remembers: {saved_header['estimator']!r} over "
+            f"{saved_header['columns']}, {saved_header['row_count']} rows)"
+        )
+
+        # -- 3. restore without refitting ----------------------------------
+        catalog = Catalog()
+        catalog.add_table(
+            gaussian_mixture_table(rows=30_000, dimensions=2, components=4, seed=7, name="orders")
+        )
+        catalog.add_table(uniform_table(rows=10_000, dimensions=1, seed=3, name="users"))
+        restored = catalog.restore(store)
+        after = catalog.estimate_batch("orders", plan)
+        print(
+            f"restored {restored}; estimates bitwise-identical to the saved model: "
+            f"{bool(np.array_equal(before, after))}"
+        )
+
+        # -- 4. ingest-while-serve -----------------------------------------
+        server = EstimatorServer(
+            catalog.estimator("orders"), cache_size=128, store=store, model_name="orders"
+        )
+        stop = threading.Event()
+        published = []
+
+        def writer() -> None:
+            rng = np.random.default_rng(42)
+            while not stop.is_set():
+                model = server.checkout()          # copy-on-write: readers unaffected
+                model.insert(rng.normal(8.0, 0.5, size=(2_000, 2)))
+                model.flush()
+                published.append(server.publish(model))  # atomic swap + store publish
+                time.sleep(0.01)
+
+        reads = {"count": 0}
+
+        def reader() -> None:
+            while not stop.is_set():
+                estimates = server.estimate_batch(plan)
+                assert estimates.shape == (len(plan),)
+                reads["count"] += 1
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(1.0)
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+        info = server.cache_info()
+        print(
+            f"served {reads['count']} batch reads across {len(published)} live publishes "
+            f"(final generation {info.generation}, cache hit rate {info.hit_rate:.0%})"
+        )
+        print(
+            f"store now holds versions {store.versions('orders')} of 'orders' "
+            f"(prune policy keeps the newest {store.keep_versions})"
+        )
+
+        # The served model is always loadable by a fresh process.
+        latest = store.load("orders")
+        print(f"latest published model answers: {latest.estimate_batch(plan)[0]:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,16 +11,24 @@ plan and answers it through the batch-first API: one ``estimate_batch`` call
 per estimator, one vectorized ``true_selectivities`` scan for ground truth.
 A final section shows the ingestion half of the same story: the streaming
 synopsis swallows an insert stream through the chunked bulk path at a rate a
-per-tuple loop cannot approach.
+per-tuple loop cannot approach — and the model it builds is then *persisted*
+to a versioned on-disk store and served back through an
+:class:`~repro.serve.EstimatorServer`, so the synopsis survives the process
+that built it (see ``examples/persistence_serving.py`` for the full
+save → restart → restore → serve walkthrough).
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
+from pathlib import Path
 
 from repro import (
     AdaptiveKDEEstimator,
     EquiDepthHistogram,
+    EstimatorServer,
+    ModelStore,
     SamplingEstimator,
     StreamingADE,
     UniformWorkload,
@@ -104,6 +112,24 @@ def main() -> None:
         f"{elapsed:.2f}s ({stream.total_rows / elapsed:,.0f} rows/s), "
         f"{synopsis.kernel_count} kernels, {synopsis.memory_bytes()} bytes"
     )
+
+    # 6. Persistence & serving: publish the streamed synopsis into a
+    #    versioned model store (atomic write-then-rename, LATEST pointer),
+    #    load it back — the round-trip reproduces estimates bitwise — and
+    #    serve it through a cached, swap-capable front end.
+    with tempfile.TemporaryDirectory() as root:
+        store = ModelStore(Path(root) / "models")
+        version = store.publish("orders.streaming_ade", synopsis)
+        restored = store.load("orders.streaming_ade")
+        server = EstimatorServer(restored, cache_size=64)
+        first = server.estimate_batch(plan)   # cold: computed by the model
+        server.estimate_batch(plan)           # warm: answered from the cache
+        info = server.cache_info()
+        print(
+            f"published v{version.version} to the model store, restored and served "
+            f"{len(plan)} queries (cache hit rate {info.hit_rate:.0%}, "
+            f"generation {info.generation}); first estimate {first[0]:.4f}"
+        )
 
 
 if __name__ == "__main__":

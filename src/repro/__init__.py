@@ -48,6 +48,7 @@ from repro.core.errors import (
     InvalidParameterError,
     InvalidQueryError,
     NotFittedError,
+    PersistenceError,
     ReproError,
     StreamError,
 )
@@ -106,6 +107,13 @@ from repro.metrics.errors import (
     summarize_errors,
 )
 from repro.metrics.report import render_series, render_table
+from repro.persist import (
+    ModelStore,
+    ModelVersion,
+    load_estimator,
+    save_estimator,
+)
+from repro.serve import EstimatorServer, ServerCacheInfo
 from repro.stream.reservoir import DecayedReservoirSampler, ReservoirSampler
 from repro.stream.windows import SlidingWindow
 from repro.workload.generators import (
@@ -172,6 +180,13 @@ __all__ = [
     "JoinSpec",
     "Plan",
     "plan_regret",
+    # persistence & serving
+    "ModelStore",
+    "ModelVersion",
+    "save_estimator",
+    "load_estimator",
+    "EstimatorServer",
+    "ServerCacheInfo",
     # data & workloads
     "uniform_table",
     "gaussian_mixture_table",
@@ -216,4 +231,5 @@ __all__ = [
     "BudgetError",
     "CatalogError",
     "StreamError",
+    "PersistenceError",
 ]

@@ -138,6 +138,24 @@ class _PerAttributeHistogramEstimator(SelectivityEstimator):
         self._require_fitted()
         return self._histograms[column]
 
+    # -- persistence -----------------------------------------------------------
+    def _config_params(self) -> dict:
+        return {"buckets": self.buckets}
+
+    def _state(self) -> tuple[dict, dict]:
+        arrays: dict[str, np.ndarray] = {}
+        for i, column in enumerate(self._columns):
+            histogram = self._histograms[column]
+            arrays[f"h{i}_edges"] = histogram.edges
+            arrays[f"h{i}_counts"] = histogram.counts
+        return arrays, {}
+
+    def _restore_state(self, arrays, meta) -> None:
+        self._histograms = {
+            column: Histogram1D(arrays[f"h{i}_edges"], arrays[f"h{i}_counts"])
+            for i, column in enumerate(self._columns)
+        }
+
     def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
         # AVI: product of per-attribute selectivities.  Attributes no query
         # constrains carry (-inf, +inf) bounds and a factor of exactly 1, so

@@ -62,6 +62,27 @@ class IndependenceEstimator(SelectivityEstimator):
         self._mark_fitted(columns, table.row_count)
         return self
 
+    # -- persistence -----------------------------------------------------------
+    def _config_params(self) -> dict:
+        return {"model": self.model}
+
+    def _state(self) -> tuple[dict, dict]:
+        columns = self._columns
+        arrays = {
+            "low": np.array([self._low[c] for c in columns], dtype=float),
+            "high": np.array([self._high[c] for c in columns], dtype=float),
+            "mean": np.array([self._mean[c] for c in columns], dtype=float),
+            "std": np.array([self._std[c] for c in columns], dtype=float),
+        }
+        return arrays, {}
+
+    def _restore_state(self, arrays, meta) -> None:
+        columns = self._columns
+        self._low = {c: float(arrays["low"][i]) for i, c in enumerate(columns)}
+        self._high = {c: float(arrays["high"][i]) for i, c in enumerate(columns)}
+        self._mean = {c: float(arrays["mean"][i]) for i, c in enumerate(columns)}
+        self._std = {c: float(arrays["std"][i]) for i, c in enumerate(columns)}
+
     def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
         # AVI: product of per-attribute fractions; attributes no query
         # constrains contribute a factor of exactly 1 and are skipped.

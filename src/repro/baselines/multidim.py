@@ -163,6 +163,22 @@ class GridHistogram(SelectivityEstimator):
             )
         return max(resolution, 1)
 
+    # -- persistence -----------------------------------------------------------
+    def _config_params(self) -> dict:
+        return {"cells_per_dim": self.cells_per_dim, "budget_bytes": self.budget_bytes}
+
+    def _state(self) -> tuple[dict, dict]:
+        arrays = {"low": self._low, "high": self._high, "cells": self._cells}
+        meta = {"resolution": self._resolution, "total": self._total}
+        return arrays, meta
+
+    def _restore_state(self, arrays, meta) -> None:
+        self._low = np.asarray(arrays["low"], dtype=float)
+        self._high = np.asarray(arrays["high"], dtype=float)
+        self._cells = np.asarray(arrays["cells"], dtype=float)
+        self._resolution = int(meta["resolution"])
+        self._total = float(meta["total"])
+
     @property
     def resolution(self) -> int:
         """Cells per dimension chosen at fit time."""

@@ -96,6 +96,17 @@ class SamplingEstimator(SelectivityEstimator):
         self._require_fitted()
         return self._rows.copy()
 
+    # -- persistence -----------------------------------------------------------
+    def _config_params(self) -> dict:
+        return {"sample_size": self.sample_size, "seed": self.seed}
+
+    def _state(self) -> tuple[dict, dict]:
+        return {"rows": self._rows}, {}
+
+    def _restore_state(self, arrays, meta) -> None:
+        dims = max(len(self._columns), 1)
+        self._rows = np.asarray(arrays["rows"], dtype=float).reshape(-1, dims)
+
     def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
         return _fractions_in_box(self._rows, lows, highs)
 
@@ -160,6 +171,34 @@ class ReservoirSamplingEstimator(StreamingEstimator):
         before = self._reservoir.seen
         self._reservoir.insert(rows)
         self._row_count += self._reservoir.seen - before
+
+    # -- persistence -----------------------------------------------------------
+    def _config_params(self) -> dict:
+        return {
+            "sample_size": self.sample_size,
+            "decay": self.decay,
+            "seed": self.seed,
+        }
+
+    def _state(self) -> tuple[dict, dict]:
+        if self._reservoir is None:  # unfitted: nothing beyond the config
+            return {}, {"reservoir": None}
+        reservoir_state = self._reservoir.state_dict()
+        arrays = {"rows": reservoir_state.pop("rows")}
+        # The remaining entries (stream position + generator state) are plain
+        # JSON-able ints, so a restored reservoir continues the stream with
+        # the exact replacement decisions the original would have made.
+        return arrays, {"reservoir": reservoir_state}
+
+    def _restore_state(self, arrays, meta) -> None:
+        if meta.get("reservoir") is None:
+            self._reservoir = None
+            return
+        sampler_type = DecayedReservoirSampler if self.decay else ReservoirSampler
+        self._reservoir = sampler_type(
+            self.sample_size, max(len(self._columns), 1), seed=self.seed
+        )
+        self._reservoir.load_state({**meta["reservoir"], "rows": arrays["rows"]})
 
     def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
         assert self._reservoir is not None

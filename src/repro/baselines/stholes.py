@@ -112,6 +112,25 @@ class SelfTuningHistogram(FeedbackEstimator):
         """Number of feedback observations applied so far."""
         return self._feedback_count
 
+    # -- persistence -----------------------------------------------------------
+    def _config_params(self) -> dict:
+        return {
+            "cells_per_dim": self.cells_per_dim,
+            "learning_rate": self.learning_rate,
+            "seed_sample": self.seed_sample,
+            "seed": self.seed,
+        }
+
+    def _state(self) -> tuple[dict, dict]:
+        arrays = {"low": self._low, "high": self._high, "cells": self._cells}
+        return arrays, {"feedback_count": self._feedback_count}
+
+    def _restore_state(self, arrays, meta) -> None:
+        self._low = np.asarray(arrays["low"], dtype=float)
+        self._high = np.asarray(arrays["high"], dtype=float)
+        self._cells = np.asarray(arrays["cells"], dtype=float)
+        self._feedback_count = int(meta["feedback_count"])
+
     def cell_frequencies(self) -> np.ndarray:
         """Current cell frequencies reshaped to the grid shape (copy)."""
         self._require_fitted()

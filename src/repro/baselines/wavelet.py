@@ -144,6 +144,26 @@ class WaveletHistogram(SelectivityEstimator):
         self._require_fitted()
         return self._histograms[column]
 
+    # -- persistence -----------------------------------------------------------
+    def _config_params(self) -> dict:
+        # ``resolution`` is already rounded up to a power of two, so feeding
+        # it back through the constructor is a fixed point.
+        return {"resolution": self.resolution, "coefficients": self.coefficients}
+
+    def _state(self) -> tuple[dict, dict]:
+        arrays: dict[str, np.ndarray] = {}
+        for i, column in enumerate(self._columns):
+            histogram = self._histograms[column]
+            arrays[f"h{i}_edges"] = histogram.edges
+            arrays[f"h{i}_counts"] = histogram.counts
+        return arrays, {}
+
+    def _restore_state(self, arrays, meta) -> None:
+        self._histograms = {
+            column: Histogram1D(arrays[f"h{i}_edges"], arrays[f"h{i}_counts"])
+            for i, column in enumerate(self._columns)
+        }
+
     def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
         # Independence assumption: product of per-attribute selectivities from
         # the reconstructed histograms; attributes no query constrains

@@ -108,6 +108,23 @@ class AdaptiveKDEEstimator(KDESelectivityEstimator):
             densities[start : start + block] = values.mean(axis=1)
         return densities
 
+    # -- persistence -----------------------------------------------------------
+    def _config_params(self) -> dict:
+        return {
+            **super()._config_params(),
+            "sensitivity": self.sensitivity,
+            "max_factor": self.max_factor,
+        }
+
+    def _state(self) -> tuple[dict, dict]:
+        arrays, meta = super()._state()
+        arrays["local_factors"] = self._local_factors
+        return arrays, meta
+
+    def _restore_state(self, arrays, meta) -> None:
+        super()._restore_state(arrays, meta)
+        self._local_factors = np.asarray(arrays["local_factors"], dtype=float)
+
     @property
     def local_factors(self) -> np.ndarray:
         """Per-sample-point bandwidth multipliers (geometric mean 1)."""

@@ -38,3 +38,7 @@ class CatalogError(ReproError):
 
 class StreamError(ReproError):
     """A streaming operation was used incorrectly (e.g. insert before fit)."""
+
+
+class PersistenceError(ReproError):
+    """A model snapshot or store operation failed (bad format, unknown model)."""

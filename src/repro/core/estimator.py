@@ -33,6 +33,30 @@ loop.  ``estimate_many`` survives as a deprecated alias of
 A simple name-based registry (:func:`register_estimator`,
 :func:`create_estimator`, :func:`estimator_from_config`) lets the experiment
 harness instantiate estimators from configuration dictionaries.
+
+Persistence contract
+--------------------
+
+Every estimator is snapshotable:
+
+* ``config()`` returns ``{"name": <registry name>, **constructor_params}``
+  such that ``estimator_from_config(est.config())`` builds an equivalent
+  *unfitted* estimator.  ``describe()`` is a superset of ``config()`` (it adds
+  runtime metadata under the reserved keys in :data:`DESCRIBE_METADATA_KEYS`,
+  which ``estimator_from_config`` ignores), so a describe dictionary also
+  round-trips through ``estimator_from_config``.
+* ``state_dict()`` returns the complete fitted state as numpy arrays plus a
+  JSON-serialisable header; ``load_state()`` restores it on a compatible
+  instance.  Streaming estimators are flushed first so rows sitting in a
+  pending ingestion buffer are never dropped from a snapshot.
+* ``save(path)`` / ``SelectivityEstimator.load(path)`` persist a snapshot to
+  a single ``.npz`` file (see :mod:`repro.persist` for the on-disk format and
+  its versioning policy); the round-trip reproduces ``estimate_batch``
+  output bitwise.
+
+Subclasses implement the paired hooks ``_state()`` (returning
+``(arrays, meta)``) and ``_restore_state(arrays, meta)``; the base class
+handles the envelope (registry name, config, columns, row count).
 """
 
 from __future__ import annotations
@@ -63,10 +87,18 @@ __all__ = [
     "available_estimators",
     "estimator_from_config",
     "FLOAT_BYTES",
+    "DESCRIBE_METADATA_KEYS",
 ]
 
 #: Size in bytes charged per stored floating-point value in space budgets.
 FLOAT_BYTES = 8
+
+#: Runtime-metadata keys ``describe()`` adds on top of ``config()``.  They are
+#: never constructor parameters, and :func:`estimator_from_config` ignores
+#: them so a describe dictionary round-trips into an equivalent estimator.
+DESCRIBE_METADATA_KEYS = frozenset(
+    {"class", "fitted", "columns", "rows_modelled", "memory_bytes"}
+)
 
 
 class SelectivityEstimator(ABC):
@@ -222,15 +254,106 @@ class SelectivityEstimator(ABC):
         values = np.where(np.isnan(values), 0.0, values)
         return np.clip(values, 0.0, 1.0)
 
+    # -- configuration & persistence -----------------------------------------
+    def _config_params(self) -> dict[str, Any]:
+        """Constructor parameters (JSON-serialisable), overridden per subclass."""
+        return {}
+
+    def config(self) -> dict[str, Any]:
+        """Reconstruction recipe: ``{"name": ..., **constructor_params}``.
+
+        ``estimator_from_config(est.config())`` builds an equivalent unfitted
+        estimator.
+        """
+        return {"name": self.name, **self._config_params()}
+
     def describe(self) -> dict[str, Any]:
-        """Small structured description used in experiment reports."""
+        """Structured description used in experiment reports.
+
+        A superset of :meth:`config`: the extra runtime-metadata keys are the
+        reserved :data:`DESCRIBE_METADATA_KEYS`, which
+        :func:`estimator_from_config` strips, so the description itself
+        round-trips into an equivalent unfitted estimator.
+        """
         return {
-            "name": self.name,
+            **self.config(),
             "class": type(self).__name__,
+            "fitted": self._fitted,
             "columns": list(self._columns),
             "rows_modelled": self._row_count,
             "memory_bytes": self.memory_bytes() if self._fitted else 0,
         }
+
+    def _state(self) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+        """Fitted state as ``(arrays, meta)``.
+
+        ``arrays`` maps snapshot keys to numpy arrays (persisted losslessly);
+        ``meta`` holds JSON-serialisable scalars.  The base implementation is
+        empty, which is correct only for estimators whose entire state is
+        ``config() + columns + row_count`` — everything else overrides.
+        """
+        return {}, {}
+
+    def _restore_state(
+        self, arrays: Mapping[str, np.ndarray], meta: Mapping[str, Any]
+    ) -> None:
+        """Inverse of :meth:`_state`; called after the envelope is applied."""
+
+    def state_dict(self) -> dict[str, Any]:
+        """Complete snapshot of the estimator (config + fitted state).
+
+        Streaming estimators are flushed first so rows sitting in a pending
+        ingestion buffer are folded into the model rather than silently
+        dropped from the snapshot.  Everything except the ``"arrays"`` entry
+        is JSON-serialisable.
+        """
+        if isinstance(self, StreamingEstimator):
+            self.flush()
+        arrays, meta = self._state()
+        return {
+            "estimator": self.name,
+            "config": self._config_params(),
+            "fitted": bool(self._fitted),
+            "columns": list(self._columns),
+            "row_count": int(self._row_count),
+            "meta": meta,
+            "arrays": {key: np.asarray(value) for key, value in arrays.items()},
+        }
+
+    def load_state(self, state: Mapping[str, Any]) -> "SelectivityEstimator":
+        """Restore a :meth:`state_dict` snapshot onto this instance.
+
+        The snapshot must come from the same registry name; constructor
+        parameters are *not* re-applied here — build the instance via
+        :func:`estimator_from_config` on the snapshot's config first (which is
+        what :func:`repro.persist.load_estimator` does).
+        """
+        name = state.get("estimator")
+        if name != self.name:
+            raise InvalidParameterError(
+                f"snapshot of estimator {name!r} cannot be loaded into {self.name!r}"
+            )
+        self._columns = tuple(state.get("columns", ()))
+        self._row_count = int(state.get("row_count", 0))
+        self._fitted = bool(state.get("fitted", False))
+        arrays = {
+            key: np.asarray(value) for key, value in state.get("arrays", {}).items()
+        }
+        self._restore_state(arrays, state.get("meta", {}))
+        return self
+
+    def save(self, path: "str | Any") -> None:
+        """Write a single-file ``.npz`` snapshot (see :mod:`repro.persist`)."""
+        from repro.persist.snapshot import save_estimator  # lazy: avoids a cycle
+
+        save_estimator(self, path)
+
+    @staticmethod
+    def load(path: "str | Any") -> "SelectivityEstimator":
+        """Load a snapshot written by :meth:`save` (any registered estimator)."""
+        from repro.persist.snapshot import load_estimator  # lazy: avoids a cycle
+
+        return load_estimator(path)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "fitted" if self._fitted else "unfitted"
@@ -318,8 +441,17 @@ def available_estimators() -> list[str]:
 
 
 def estimator_from_config(config: Mapping[str, Any]) -> SelectivityEstimator:
-    """Build an estimator from ``{"name": ..., **params}`` configuration."""
+    """Build an estimator from ``{"name": ..., **params}`` configuration.
+
+    The reserved runtime-metadata keys in :data:`DESCRIBE_METADATA_KEYS` are
+    ignored, so the output of :meth:`SelectivityEstimator.describe` (and the
+    ``config`` entry of a snapshot header) round-trips directly.
+    """
     if "name" not in config:
         raise InvalidParameterError("estimator config requires a 'name' key")
-    params = {k: v for k, v in config.items() if k != "name"}
+    params = {
+        k: v
+        for k, v in config.items()
+        if k != "name" and k not in DESCRIBE_METADATA_KEYS
+    }
     return create_estimator(str(config["name"]), **params)

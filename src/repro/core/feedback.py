@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Deque, Sequence
+from typing import Any, Deque, Mapping, Sequence
 
 import numpy as np
 
@@ -32,6 +32,8 @@ from repro.core.estimator import (
     FLOAT_BYTES,
     FeedbackEstimator,
     SelectivityEstimator,
+    create_estimator,
+    estimator_from_config,
     register_estimator,
 )
 from repro.core.kde import KDESelectivityEstimator
@@ -79,9 +81,12 @@ class FeedbackAdaptiveEstimator(FeedbackEstimator):
     Parameters
     ----------
     base:
-        The wrapped :class:`SelectivityEstimator`.  Defaults to an
-        :class:`~repro.core.kde.KDESelectivityEstimator` with a 512-row
-        sample, which matches the configuration used in the evaluation.
+        The wrapped :class:`SelectivityEstimator` — an instance, a registry
+        name, or a ``{"name": ..., **params}`` configuration mapping (which
+        is how snapshot and describe round-trips reconstruct the wrapper).
+        Defaults to a :class:`~repro.core.kde.KDESelectivityEstimator` with a
+        512-row sample, which matches the configuration used in the
+        evaluation.
     max_regions:
         Maximum number of feedback observations retained.
     learning_rate:
@@ -98,7 +103,7 @@ class FeedbackAdaptiveEstimator(FeedbackEstimator):
 
     def __init__(
         self,
-        base: SelectivityEstimator | None = None,
+        base: SelectivityEstimator | Mapping[str, Any] | str | None = None,
         max_regions: int = 256,
         learning_rate: float = 0.8,
         recency_halflife: float = 200.0,
@@ -113,7 +118,13 @@ class FeedbackAdaptiveEstimator(FeedbackEstimator):
             raise InvalidParameterError("recency_halflife must be positive")
         if bias_learning_rate < 0:
             raise InvalidParameterError("bias_learning_rate must be non-negative")
-        self.base = base if base is not None else KDESelectivityEstimator(sample_size=512)
+        if base is None:
+            base = KDESelectivityEstimator(sample_size=512)
+        elif isinstance(base, str):
+            base = create_estimator(base)
+        elif isinstance(base, Mapping):
+            base = estimator_from_config(base)
+        self.base = base
         self.max_regions = int(max_regions)
         self.learning_rate = float(learning_rate)
         self.recency_halflife = float(recency_halflife)
@@ -144,6 +155,81 @@ class FeedbackAdaptiveEstimator(FeedbackEstimator):
         self._require_fitted()
         record_floats = len(self._records) * (2 * len(self._columns) + 2)
         return int(self.base.memory_bytes() + record_floats * FLOAT_BYTES + 2 * FLOAT_BYTES)
+
+    # -- persistence -----------------------------------------------------------
+    def _config_params(self) -> dict:
+        return {
+            "base": self.base.config(),
+            "max_regions": self.max_regions,
+            "learning_rate": self.learning_rate,
+            "recency_halflife": self.recency_halflife,
+            "bias_learning_rate": self.bias_learning_rate,
+        }
+
+    def _state(self) -> tuple[dict, dict]:
+        """Own state plus the wrapped estimator's snapshot, namespaced.
+
+        The base estimator's arrays are merged in under ``base::`` keys and
+        its (JSON-able) snapshot envelope travels in ``meta["base"]``, so one
+        flat npz file holds the whole wrapper.
+        """
+        dims = max(len(self._columns), 1)
+        if self._records:
+            record_lows = np.stack([r.lows for r in self._records])
+            record_highs = np.stack([r.highs for r in self._records])
+            truths = np.array([r.true_fraction for r in self._records])
+            bases = np.array([r.base_estimate for r in self._records])
+            ages = np.array([r.age for r in self._records], dtype=np.int64)
+        else:
+            record_lows = np.empty((0, dims))
+            record_highs = np.empty((0, dims))
+            truths = np.empty(0)
+            bases = np.empty(0)
+            ages = np.empty(0, dtype=np.int64)
+        arrays = {
+            "record_lows": record_lows,
+            "record_highs": record_highs,
+            "record_truths": truths,
+            "record_bases": bases,
+            "record_ages": ages,
+            "domain_low": self._domain_low,
+            "domain_high": self._domain_high,
+        }
+        base_state = self.base.state_dict()
+        for key, value in base_state.pop("arrays").items():
+            arrays[f"base::{key}"] = value
+        meta = {
+            "log_bias": self._log_bias,
+            "feedback_count": self._feedback_count,
+            "base": base_state,
+        }
+        return arrays, meta
+
+    def _restore_state(self, arrays, meta) -> None:
+        self._domain_low = np.asarray(arrays["domain_low"], dtype=float)
+        self._domain_high = np.asarray(arrays["domain_high"], dtype=float)
+        self._log_bias = float(meta["log_bias"])
+        self._feedback_count = int(meta["feedback_count"])
+        dims = max(len(self._columns), 1)
+        lows = np.asarray(arrays["record_lows"], dtype=float).reshape(-1, dims)
+        highs = np.asarray(arrays["record_highs"], dtype=float).reshape(-1, dims)
+        truths = np.asarray(arrays["record_truths"], dtype=float)
+        bases = np.asarray(arrays["record_bases"], dtype=float)
+        ages = np.asarray(arrays["record_ages"])
+        self._records = deque()
+        for i in range(truths.size):
+            record = FeedbackRecord(
+                lows[i].copy(), highs[i].copy(), float(truths[i]), float(bases[i])
+            )
+            record.age = int(ages[i])
+            self._records.append(record)
+        base_state = dict(meta["base"])
+        base_state["arrays"] = {
+            key[len("base::"):]: value
+            for key, value in arrays.items()
+            if key.startswith("base::")
+        }
+        self.base.load_state(base_state)
 
     # -- feedback -------------------------------------------------------------
     def feedback(self, query: RangeQuery, true_fraction: float) -> None:

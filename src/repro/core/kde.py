@@ -152,6 +152,38 @@ class KDESelectivityEstimator(SelectivityEstimator):
             )
         self._bandwidths = bandwidths
 
+    # -- persistence -----------------------------------------------------------
+    def _config_params(self) -> dict:
+        return {
+            "sample_size": self.sample_size,
+            "kernel": self.kernel.name,
+            "bandwidth_rule": self.bandwidth_rule,
+            "bandwidths": (
+                None
+                if self._explicit_bandwidths is None
+                else [float(b) for b in self._explicit_bandwidths]
+            ),
+            "boundary_correction": self.boundary_correction,
+            "seed": self.seed,
+        }
+
+    def _state(self) -> tuple[dict, dict]:
+        arrays = {
+            "points": self._points,
+            "weights": self._weights,
+            "bandwidths": self._bandwidths,
+            "domain_low": self._domain_low,
+            "domain_high": self._domain_high,
+        }
+        return arrays, {}
+
+    def _restore_state(self, arrays, meta) -> None:
+        self._points = np.asarray(arrays["points"], dtype=float)
+        self._weights = np.asarray(arrays["weights"], dtype=float)
+        self._bandwidths = np.asarray(arrays["bandwidths"], dtype=float)
+        self._domain_low = np.asarray(arrays["domain_low"], dtype=float)
+        self._domain_high = np.asarray(arrays["domain_high"], dtype=float)
+
     # -- introspection ---------------------------------------------------------
     @property
     def bandwidths(self) -> np.ndarray:

@@ -619,6 +619,59 @@ class StreamingADE(StreamingEstimator):
         if self._weights.size > 1:
             self._compress_to(self._weights.size - 1)
 
+    # -- persistence -----------------------------------------------------------
+    def _config_params(self) -> dict:
+        return {
+            "max_kernels": self.max_kernels,
+            "decay": self.decay,
+            "merge_threshold": self.merge_threshold,
+            "prune_weight": self.prune_weight,
+            "smoothing_factor": self.smoothing_factor,
+            "chunk_size": self.chunk_size,
+            "seed": self.seed,
+        }
+
+    def _state(self) -> tuple[dict, dict]:
+        # state_dict() has already flushed: the pending ingestion buffer is
+        # empty, so the kernel arrays plus running sums are the whole model.
+        arrays = {
+            "means": self._means,
+            "variances": self._variances,
+            "weights": self._weights,
+            "domain_low": self._domain_low,
+            "domain_high": self._domain_high,
+            "sum_wx": self._sum_wx,
+            "sum_wx2": self._sum_wx2,
+        }
+        meta = {
+            "dims": self._dims,
+            "decay_scale": self._decay_scale,
+            "total_seen": self._total_seen,
+            "sum_w": self._sum_w,
+        }
+        return arrays, meta
+
+    def _restore_state(self, arrays, meta) -> None:
+        self._dims = int(meta["dims"])
+        if self._dims:
+            self._means = np.asarray(arrays["means"], dtype=float).reshape(-1, self._dims)
+            self._variances = np.asarray(arrays["variances"], dtype=float).reshape(
+                -1, self._dims
+            )
+        else:  # never started: no column geometry to restore
+            self._means = np.empty((0, 0))
+            self._variances = np.empty((0, 0))
+        self._weights = np.asarray(arrays["weights"], dtype=float)
+        self._domain_low = np.asarray(arrays["domain_low"], dtype=float)
+        self._domain_high = np.asarray(arrays["domain_high"], dtype=float)
+        self._sum_wx = np.asarray(arrays["sum_wx"], dtype=float)
+        self._sum_wx2 = np.asarray(arrays["sum_wx2"], dtype=float)
+        self._decay_scale = float(meta["decay_scale"])
+        self._total_seen = float(meta["total_seen"])
+        self._sum_w = float(meta["sum_w"])
+        self._pending = np.empty((self._chunk, self._dims))
+        self._pending_count = 0
+
     # -- model introspection -----------------------------------------------------
     @property
     def kernel_count(self) -> int:

@@ -6,18 +6,27 @@ table, and serves selectivity estimates to the executor and the optimizer.
 Attaching an estimator fits it immediately; estimates for tables without a
 synopsis fall back to the exact answer (a full scan), which is what a test
 harness wants when the synopsis under study only covers some tables.
+
+The catalog also fronts the persistence layer: :meth:`Catalog.save`
+publishes every attached synopsis into a
+:class:`~repro.persist.store.ModelStore` (one named, versioned model per
+table) and :meth:`Catalog.restore` re-attaches the latest published versions
+without refitting — the statistics of a whole database survive a restart.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.errors import CatalogError
-from repro.core.estimator import SelectivityEstimator
+from repro.core.estimator import SelectivityEstimator, StreamingEstimator
 from repro.engine.table import Table
 from repro.workload.queries import CompiledQueries, RangeQuery
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
+    from repro.persist.store import ModelStore
 
 __all__ = ["Catalog"]
 
@@ -61,6 +70,27 @@ class Catalog:
         """Fit ``estimator`` on the named table and attach it as its synopsis."""
         table = self.table(table_name)
         estimator.fit(table, columns)
+        self._estimators[table_name] = estimator
+        return estimator
+
+    def attach_fitted(
+        self, table_name: str, estimator: SelectivityEstimator
+    ) -> SelectivityEstimator:
+        """Attach an already-fitted synopsis (e.g. restored from a store).
+
+        The estimator's columns must exist on the table; it is attached as-is,
+        without refitting.
+        """
+        table = self.table(table_name)
+        if not estimator.is_fitted:
+            raise CatalogError(
+                f"cannot attach unfitted {type(estimator).__name__} to {table_name!r}"
+            )
+        missing = [c for c in estimator.columns if c not in table]
+        if missing:
+            raise CatalogError(
+                f"estimator covers columns {missing} that table {table_name!r} lacks"
+            )
         self._estimators[table_name] = estimator
         return estimator
 
@@ -118,7 +148,57 @@ class Catalog:
         """Refit the attached synopsis after the table changed (bulk rebuild)."""
         estimator = self._estimators.get(table_name)
         if estimator is not None:
+            if isinstance(estimator, StreamingEstimator):
+                # Apply any buffered inserts before refitting.  The streaming
+                # contract does not require fit() to rebuild from scratch
+                # (incremental implementations are legal), so half-applied
+                # inserts must never be left in the buffer across a refresh;
+                # and if fit() raises, the estimator is left in a fully
+                # flushed state rather than with silently pending rows.
+                estimator.flush()
             estimator.fit(self.table(table_name), list(estimator.columns) or None)
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, store: "ModelStore", prefix: str = "") -> dict[str, int]:
+        """Publish every attached synopsis into ``store``.
+
+        Each synopsis becomes one named model (``prefix + table name``); the
+        snapshot path flushes streaming estimators, so buffered stream rows
+        are part of the persisted model.  Returns ``{table name: version}``.
+        """
+        published: dict[str, int] = {}
+        for table_name in sorted(self._estimators):
+            version = store.publish(prefix + table_name, self._estimators[table_name])
+            published[table_name] = version.version
+        return published
+
+    def restore(
+        self,
+        store: "ModelStore",
+        tables: Sequence[str] | None = None,
+        prefix: str = "",
+        version: int | None = None,
+    ) -> list[str]:
+        """Re-attach synopses published by :meth:`save`, without refitting.
+
+        Restores the latest (or a pinned) published version for each named
+        table (default: every registered table with a model in the store).
+        Returns the table names that were restored.
+        """
+        names = list(tables) if tables is not None else self.table_names()
+        available = set(store.model_names())
+        restored: list[str] = []
+        for table_name in names:
+            if prefix + table_name not in available:
+                if tables is not None:
+                    raise CatalogError(
+                        f"store has no model {prefix + table_name!r} to restore"
+                    )
+                continue
+            estimator = store.load(prefix + table_name, version)
+            self.attach_fitted(table_name, estimator)
+            restored.append(table_name)
+        return restored
 
     def describe(self) -> Mapping[str, dict]:
         """Structured description of every table and its synopsis."""

@@ -9,15 +9,27 @@ Run one experiment (or all of them) from the shell::
 Unknown ``--name value`` pairs are forwarded to the experiment function as
 keyword arguments; values are parsed as int, then float, then left as strings,
 and comma-separated values become tuples (e.g. ``--budgets 1024,4096``).
+
+Model persistence: ``--save-models DIR`` publishes every estimator fitted by
+the accuracy experiments into a versioned model store under ``DIR``, and
+``--from-store DIR`` restores published models instead of refitting (models
+missing from the store are fitted fresh).  Both flags must precede the
+experiment name::
+
+    python -m repro.experiments --save-models models/ table1
+    python -m repro.experiments --from-store models/ table1
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import Sequence
 
+from repro.experiments.runner import use_model_store
 from repro.experiments.suite import EXPERIMENTS, run_experiment
+from repro.persist.store import ModelStore
 
 
 def _parse_scalar(text: str) -> object:
@@ -59,6 +71,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         description="Regenerate one table/figure of the evaluation (or 'all').",
     )
     parser.add_argument(
+        "--save-models",
+        metavar="DIR",
+        help="publish every fitted estimator into a model store under DIR",
+    )
+    parser.add_argument(
+        "--from-store",
+        metavar="DIR",
+        help="restore published models from the store under DIR instead of refitting",
+    )
+    parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="experiment id (table1..table4, fig1..fig8) or 'all'",
@@ -71,11 +93,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     overrides = _parse_overrides(args.overrides)
 
+    store_dir = args.save_models or args.from_store
+    if args.save_models and args.from_store and args.save_models != args.from_store:
+        raise SystemExit("--save-models and --from-store must name the same directory")
+    context = (
+        use_model_store(
+            ModelStore(store_dir),
+            save=bool(args.save_models),
+            load=bool(args.from_store),
+        )
+        if store_dir
+        else nullcontext()
+    )
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        result = run_experiment(name, **(overrides if args.experiment != "all" else {}))
-        print(result.render())
-        print()
+    with context:
+        for name in names:
+            result = run_experiment(name, **(overrides if args.experiment != "all" else {}))
+            print(result.render())
+            print()
     return 0
 
 

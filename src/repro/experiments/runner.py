@@ -13,16 +13,20 @@ can assert against directly.
 
 from __future__ import annotations
 
+import re
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro.core.errors import PersistenceError
 from repro.core.estimator import SelectivityEstimator
 from repro.engine.executor import EvaluationResult, evaluate_estimator
 from repro.engine.table import Table
 from repro.metrics.report import render_series, render_table
+from repro.persist.store import ModelStore
 from repro.workload.queries import RangeQuery
 
 __all__ = [
@@ -30,7 +34,9 @@ __all__ = [
     "TableResult",
     "SeriesResult",
     "fit_timed",
+    "fit_or_restore",
     "run_accuracy_comparison",
+    "use_model_store",
 ]
 
 
@@ -104,6 +110,72 @@ class SeriesResult:
         self.series.setdefault(series_name, []).append(float(value))
 
 
+# ---------------------------------------------------------------------------
+# Model-store integration (the CLI's --save-models / --from-store flags)
+# ---------------------------------------------------------------------------
+
+#: Active (store, save, load) triple set by :func:`use_model_store`.
+_ACTIVE_STORE: tuple[ModelStore | None, bool, bool] = (None, False, False)
+
+
+@contextmanager
+def use_model_store(
+    store: ModelStore, *, save: bool = False, load: bool = False
+) -> Iterator[ModelStore]:
+    """Route experiment estimators through a model store for this context.
+
+    With ``save=True`` every estimator fitted by
+    :func:`run_accuracy_comparison` is published to ``store`` under
+    ``<table>.<label>`` after fitting; with ``load=True`` a published model of
+    that name is restored *instead of* fitting (falling back to a fresh fit
+    when the store has no such model).  This is what the experiment CLI's
+    ``--save-models`` / ``--from-store`` flags activate.
+    """
+    global _ACTIVE_STORE
+    previous = _ACTIVE_STORE
+    _ACTIVE_STORE = (store, bool(save), bool(load))
+    try:
+        yield store
+    finally:
+        _ACTIVE_STORE = previous
+
+
+def _store_model_name(table_name: str, label: str, scope: str) -> str:
+    raw = ".".join(part for part in (table_name, scope, label) if part)
+    return re.sub(r"[^A-Za-z0-9._-]", "_", raw).lstrip("._-") or "model"
+
+
+def fit_or_restore(
+    table: Table, spec: EstimatorSpec, scope: str = ""
+) -> SelectivityEstimator:
+    """Fit a spec's estimator, or restore it from the active model store.
+
+    Outside a :func:`use_model_store` context this is exactly
+    ``spec.build().fit(table)``.  Inside one, the estimator is published
+    under ``<table>.<scope>.<label>`` after fitting (``save=True``) or
+    restored from the latest published version instead of fitting
+    (``load=True``; estimators whose columns do not match the table, or that
+    were never published, are fitted fresh).  ``scope`` disambiguates
+    experiment loops that reuse one table name with different parameters
+    (budgets, dimensionalities, skew levels).
+    """
+    store, save, load = _ACTIVE_STORE
+    name = _store_model_name(table.name, spec.label, scope) if store is not None else ""
+    if store is not None and load:
+        try:
+            restored = store.load(name)
+        except PersistenceError:
+            pass  # not published yet: fall through to a fresh fit
+        else:
+            if all(column in table for column in restored.columns):
+                return restored
+    estimator = spec.build()
+    estimator.fit(table)
+    if store is not None and save:
+        store.publish(name, estimator)
+    return estimator
+
+
 def fit_timed(estimator: SelectivityEstimator, table: Table) -> float:
     """Fit an estimator and return the wall-clock build time in seconds."""
     start = time.perf_counter()
@@ -121,11 +193,13 @@ def run_accuracy_comparison(
 
     Returns a mapping from spec label to its :class:`EvaluationResult`; the
     caller extracts whichever error statistics the experiment reports.
+
+    Inside a :func:`use_model_store` context the fitted estimators are
+    published to (or restored from) the active model store.
     """
     results: dict[str, EvaluationResult] = {}
     for spec in specs:
-        estimator = spec.build()
-        estimator.fit(table)
+        estimator = fit_or_restore(table, spec)
         results[spec.label] = evaluate_estimator(table, estimator, queries, name=spec.label)
     return results
 

@@ -55,7 +55,12 @@ from repro.engine.catalog import Catalog
 from repro.engine.executor import evaluate_estimator
 from repro.engine.optimizer import JoinSpec, Optimizer, plan_regret
 from repro.engine.table import Table
-from repro.experiments.runner import EstimatorSpec, SeriesResult, TableResult
+from repro.experiments.runner import (
+    EstimatorSpec,
+    SeriesResult,
+    TableResult,
+    fit_or_restore,
+)
 from repro.metrics.errors import integrated_squared_error
 from repro.workload.generators import SkewedWorkload, UniformWorkload
 from repro.workload.queries import Interval, RangeQuery
@@ -168,8 +173,7 @@ def table1_accuracy_1d(
     for dataset_name, table in datasets.items():
         workload = UniformWorkload(table, volume_fraction=0.05, seed=seed + 1).generate(queries)
         for spec in _budgeted_specs(budget_bytes, dimensions=1):
-            estimator = spec.build()
-            estimator.fit(table)
+            estimator = fit_or_restore(table, spec, scope=f"table1.{dataset_name}")
             evaluation = evaluate_estimator(table, estimator, workload, name=spec.label)
             result.rows.append([dataset_name, *_error_row(spec.label, evaluation)])
     return result
@@ -198,8 +202,7 @@ def table2_accuracy_multid(
         table = correlated_table(rows, dimensions=d, correlation=0.8, seed=seed)
         workload = UniformWorkload(table, volume_fraction=0.25, seed=seed + 1).generate(queries)
         for spec in _budgeted_specs(budget_bytes, dimensions=d):
-            estimator = spec.build()
-            estimator.fit(table)
+            estimator = fit_or_restore(table, spec, scope=f"table2.d{d}")
             evaluation = evaluate_estimator(table, estimator, workload, name=spec.label)
             result.rows.append([d, *_error_row(spec.label, evaluation)])
     return result
@@ -317,8 +320,7 @@ def fig1_budget_sweep(
     )
     for budget in budgets:
         for spec in _budgeted_specs(budget, dimensions=2):
-            estimator = spec.build()
-            estimator.fit(table)
+            estimator = fit_or_restore(table, spec, scope=f"fig1.b{budget}")
             evaluation = evaluate_estimator(table, estimator, workload, name=spec.label)
             result.add_point(spec.label, evaluation.mean_relative_error())
     return result
@@ -351,8 +353,7 @@ def fig2_dimensionality(
         workload = UniformWorkload(table, volume_fraction=0.3, seed=seed + 1).generate(queries)
         specs = {s.label: s for s in _budgeted_specs(budget_bytes, dimensions=d)}
         for label in labels:
-            estimator = specs[label].build()
-            estimator.fit(table)
+            estimator = fit_or_restore(table, specs[label], scope=f"fig2.d{d}")
             evaluation = evaluate_estimator(table, estimator, workload, name=label)
             result.add_point(label, evaluation.mean_relative_error())
     return result
@@ -381,9 +382,7 @@ def fig3_query_volume(
     specs = {s.label: s for s in _budgeted_specs(budget_bytes, dimensions=2)}
     fitted: dict[str, SelectivityEstimator] = {}
     for label in labels:
-        estimator = specs[label].build()
-        estimator.fit(table)
-        fitted[label] = estimator
+        fitted[label] = fit_or_restore(table, specs[label], scope="fig3")
     for volume in volumes:
         workload = UniformWorkload(
             table, volume_fraction=volume, seed=seed + 1
@@ -418,8 +417,7 @@ def fig4_skew(
         workload = UniformWorkload(table, volume_fraction=0.02, seed=seed + 1).generate(queries)
         specs = {s.label: s for s in _budgeted_specs(budget_bytes, dimensions=1)}
         for label in labels:
-            estimator = specs[label].build()
-            estimator.fit(table)
+            estimator = fit_or_restore(table, specs[label], scope=f"fig4.theta{theta}")
             evaluation = evaluate_estimator(table, estimator, workload, name=label)
             result.add_point(label, evaluation.mean_q_error())
     return result

@@ -1,0 +1,126 @@
+"""Single-file ``.npz`` snapshots of fitted estimators.
+
+The serialisation split is deliberate: estimators describe their state as
+numpy arrays plus JSON scalars (``SelectivityEstimator.state_dict``), and
+this module owns the on-disk envelope — a pickle-free ``savez`` archive with
+a versioned JSON header.  See :mod:`repro.persist` for the format and its
+versioning policy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Any, Mapping
+
+import numpy as np
+
+from repro.core.errors import PersistenceError
+from repro.core.estimator import SelectivityEstimator, estimator_from_config
+
+__all__ = [
+    "FORMAT_VERSION",
+    "HEADER_KEY",
+    "save_estimator",
+    "load_estimator",
+    "read_snapshot_header",
+]
+
+#: On-disk snapshot format version (see :mod:`repro.persist` for the policy).
+FORMAT_VERSION = 1
+
+#: Archive entry holding the UTF-8 JSON header.
+HEADER_KEY = "__repro_header__"
+
+#: Prefix namespacing estimator state arrays inside the archive.
+_ARRAY_PREFIX = "a::"
+
+
+def _json_default(value: Any) -> Any:
+    """Fold numpy scalars/arrays that leak into headers back into JSON types."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"snapshot header value {value!r} is not JSON-serialisable")
+
+
+def save_estimator(
+    estimator: SelectivityEstimator, path: str | os.PathLike[str] | IO[bytes]
+) -> None:
+    """Write ``estimator`` as a single snapshot file at ``path``.
+
+    The file is written through ``numpy.savez`` without pickle; the
+    round-trip via :func:`load_estimator` reproduces ``estimate_batch``
+    output bitwise.  Parent directories are created.  (Writing is *not*
+    atomic — the :class:`~repro.persist.store.ModelStore` layers atomic
+    write-then-rename publishing on top.)
+    """
+    state = estimator.state_dict()
+    arrays = state.pop("arrays")
+    header = {"format": FORMAT_VERSION, **state}
+    encoded = np.frombuffer(
+        json.dumps(header, default=_json_default).encode("utf-8"), dtype=np.uint8
+    )
+    payload: dict[str, np.ndarray] = {HEADER_KEY: encoded}
+    for key, value in arrays.items():
+        payload[_ARRAY_PREFIX + key] = np.asarray(value)
+    if hasattr(path, "write"):
+        np.savez(path, **payload)
+        return
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    # savez appends ".npz" to bare string paths; an opened handle writes the
+    # archive to exactly the requested name.
+    with open(target, "wb") as handle:
+        np.savez(handle, **payload)
+
+
+def _parse_header(data: Mapping[str, np.ndarray], source: str) -> dict[str, Any]:
+    if HEADER_KEY not in data:
+        raise PersistenceError(f"{source} is not an estimator snapshot (missing header)")
+    try:
+        header = json.loads(bytes(np.asarray(data[HEADER_KEY])).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise PersistenceError(f"{source} has a corrupt snapshot header") from error
+    version = header.get("format")
+    if not isinstance(version, int) or version < 1:
+        raise PersistenceError(f"{source} has an invalid snapshot format marker")
+    if version > FORMAT_VERSION:
+        raise PersistenceError(
+            f"{source} uses snapshot format {version}, but this build reads "
+            f"only up to format {FORMAT_VERSION}"
+        )
+    return header
+
+
+def read_snapshot_header(path: str | os.PathLike[str] | IO[bytes]) -> dict[str, Any]:
+    """Read and validate just the JSON header of a snapshot (cheap metadata)."""
+    with np.load(path, allow_pickle=False) as data:
+        return _parse_header(data, str(path))
+
+
+def load_estimator(path: str | os.PathLike[str] | IO[bytes]) -> SelectivityEstimator:
+    """Rebuild the estimator persisted at ``path``.
+
+    The estimator is constructed from the header's registry name and config
+    (via :func:`~repro.core.estimator.estimator_from_config`) and its state
+    restored from the archived arrays.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        header = _parse_header(data, str(path))
+        arrays = {
+            key[len(_ARRAY_PREFIX):]: np.array(data[key])
+            for key in data.files
+            if key.startswith(_ARRAY_PREFIX)
+        }
+    estimator = estimator_from_config(
+        {"name": header["estimator"], **header.get("config", {})}
+    )
+    estimator.load_state({**header, "arrays": arrays})
+    return estimator

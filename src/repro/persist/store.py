@@ -1,0 +1,214 @@
+"""Versioned on-disk model store.
+
+A :class:`ModelStore` is a directory of named models.  Each publish writes an
+immutable snapshot file ``<root>/<name>/v<version>.npz`` with a monotonically
+increasing version number, then flips the model's ``LATEST`` pointer — both
+steps via write-to-temp + ``os.replace``, so readers never observe a torn
+file and the pointer flip is the atomic publication point.  A prune policy
+bounds how many historical versions a model keeps.
+
+This is the catalog-facing persistence layer: ``Catalog.save(store)``
+publishes every attached synopsis and ``Catalog.restore(store)`` re-attaches
+the latest published versions without refitting, and the serving layer
+(:mod:`repro.serve`) loads successive versions from a store to swap them in
+behind a running server.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.errors import PersistenceError
+from repro.core.estimator import SelectivityEstimator
+from repro.persist.snapshot import load_estimator, read_snapshot_header, save_estimator
+
+__all__ = ["ModelStore", "ModelVersion"]
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION_PATTERN = re.compile(r"^v(\d{8})\.npz$")
+_LATEST = "LATEST"
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """Handle to one published snapshot: model name, version and file path."""
+
+    name: str
+    version: int
+    path: Path
+
+
+class ModelStore:
+    """Directory-backed store of named, versioned estimator snapshots.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on first use).
+    keep_versions:
+        Default prune policy applied after every publish: retain at most this
+        many newest versions per model.  ``None`` keeps everything.
+    """
+
+    def __init__(self, root: str | os.PathLike[str], keep_versions: int | None = None):
+        if keep_versions is not None and keep_versions < 1:
+            raise PersistenceError("keep_versions must be at least 1")
+        self.root = Path(root)
+        self.keep_versions = keep_versions
+        self._lock = threading.Lock()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- naming / layout -----------------------------------------------------
+    def _model_dir(self, name: str) -> Path:
+        if not _NAME_PATTERN.match(name):
+            raise PersistenceError(
+                f"invalid model name {name!r}: use letters, digits, '.', '_' or '-'"
+            )
+        return self.root / name
+
+    def _version_path(self, name: str, version: int) -> Path:
+        return self._model_dir(name) / f"v{version:08d}.npz"
+
+    def model_names(self) -> list[str]:
+        """Names of all models with at least one published version."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and self._scan_versions(entry)
+        )
+
+    @staticmethod
+    def _scan_versions(model_dir: Path) -> list[int]:
+        if not model_dir.is_dir():
+            return []
+        found = []
+        for entry in model_dir.iterdir():
+            match = _VERSION_PATTERN.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def versions(self, name: str) -> list[int]:
+        """All published versions of ``name``, oldest first."""
+        return self._scan_versions(self._model_dir(name))
+
+    def latest_version(self, name: str) -> int | None:
+        """Version the ``LATEST`` pointer designates (``None`` if unpublished).
+
+        Falls back to the newest on-disk snapshot when the pointer is missing
+        or stale — the snapshot files, not the pointer, are ground truth.
+        """
+        model_dir = self._model_dir(name)
+        pointer = model_dir / _LATEST
+        try:
+            version = int(pointer.read_text().strip())
+            if self._version_path(name, version).is_file():
+                return version
+        except (OSError, ValueError):
+            pass
+        versions = self._scan_versions(model_dir)
+        return versions[-1] if versions else None
+
+    # -- publish / load --------------------------------------------------------
+    def publish(
+        self,
+        name: str,
+        estimator: SelectivityEstimator,
+        keep_versions: int | None = None,
+    ) -> ModelVersion:
+        """Persist ``estimator`` as the next version of model ``name``.
+
+        The snapshot is written to a temporary file in the model directory
+        and then *claimed* into its version slot with ``os.link``, which is
+        atomic and fails if the slot already exists — so concurrent
+        publishers (threads or separate processes) can never overwrite each
+        other's snapshot; the loser simply takes the next version number.
+        The ``LATEST`` pointer is flipped via write-to-temp + ``os.replace``
+        afterwards, so a crash mid-publish leaves the previous version
+        intact and readers never see a partial file.
+        """
+        model_dir = self._model_dir(name)
+        model_dir.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            versions = self._scan_versions(model_dir)
+            version = (versions[-1] if versions else 0) + 1
+            temp_path = model_dir / f".publish.{os.getpid()}.{id(estimator):x}.tmp"
+            try:
+                save_estimator(estimator, temp_path)
+                while True:
+                    final_path = self._version_path(name, version)
+                    try:
+                        os.link(temp_path, final_path)
+                        break
+                    except FileExistsError:
+                        version += 1  # lost a cross-process race: take the next slot
+                    except OSError:
+                        # Filesystem without hard links: fall back to a plain
+                        # rename (still atomic, but last-writer-wins on a
+                        # cross-process version collision).
+                        os.replace(temp_path, final_path)
+                        break
+            finally:
+                temp_path.unlink(missing_ok=True)
+            self._write_pointer(model_dir, version)
+            keep = keep_versions if keep_versions is not None else self.keep_versions
+            if keep is not None:
+                self._prune_locked(name, keep)
+        return ModelVersion(name, version, final_path)
+
+    @staticmethod
+    def _write_pointer(model_dir: Path, version: int) -> None:
+        pointer = model_dir / _LATEST
+        try:
+            # Never move the pointer backwards (a slower concurrent publisher
+            # finishing late must not shadow a newer version).
+            if int(pointer.read_text().strip()) >= version:
+                return
+        except (OSError, ValueError):
+            pass
+        temp_pointer = model_dir / f".{_LATEST}.{os.getpid()}.tmp"
+        temp_pointer.write_text(f"{version}\n")
+        os.replace(temp_pointer, pointer)
+
+    def load(self, name: str, version: int | None = None) -> SelectivityEstimator:
+        """Load one published version of ``name`` (default: the latest)."""
+        return load_estimator(self._resolve(name, version).path)
+
+    def describe(self, name: str, version: int | None = None) -> dict:
+        """Snapshot header of a published version (cheap — no arrays read)."""
+        return read_snapshot_header(self._resolve(name, version).path)
+
+    def _resolve(self, name: str, version: int | None) -> ModelVersion:
+        if version is None:
+            version = self.latest_version(name)
+            if version is None:
+                raise PersistenceError(f"model {name!r} has no published versions")
+        path = self._version_path(name, version)
+        if not path.is_file():
+            raise PersistenceError(f"model {name!r} has no version {version}")
+        return ModelVersion(name, int(version), path)
+
+    # -- retention -------------------------------------------------------------
+    def prune(self, name: str, keep_versions: int) -> list[int]:
+        """Delete all but the newest ``keep_versions`` versions of ``name``.
+
+        Returns the removed version numbers.  The latest version is never
+        removed.
+        """
+        with self._lock:
+            return self._prune_locked(name, keep_versions)
+
+    def _prune_locked(self, name: str, keep_versions: int) -> list[int]:
+        if keep_versions < 1:
+            raise PersistenceError("keep_versions must be at least 1")
+        versions = self.versions(name)
+        doomed = versions[:-keep_versions] if len(versions) > keep_versions else []
+        for version in doomed:
+            self._version_path(name, version).unlink(missing_ok=True)
+        return doomed

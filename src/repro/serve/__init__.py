@@ -1,0 +1,13 @@
+"""Concurrent model serving: ingest-while-serve on top of the estimator API.
+
+:class:`~repro.serve.server.EstimatorServer` fronts one fitted estimator
+with a plan-keyed result cache and a copy-on-write update protocol: readers
+answer ``estimate_batch`` against an immutable published model while a
+background ingester mutates a private copy (``checkout`` → ``insert`` /
+``flush`` → ``publish``), and each publish atomically swaps the served model
+and bumps a generation counter that invalidates the cache.
+"""
+
+from repro.serve.server import EstimatorServer, ServerCacheInfo
+
+__all__ = ["EstimatorServer", "ServerCacheInfo"]

@@ -1,0 +1,244 @@
+"""Thread-safe estimator serving with caching and copy-on-write updates.
+
+The server holds ``(generation, model)`` as one immutable pair that is
+replaced atomically on publish, so a reader either sees the old model or the
+new one — never a half-swapped mixture.  Results are memoised in a bounded
+LRU cache keyed by ``(generation, plan fingerprint)``: repeated workloads
+(the common case for dashboard / optimizer traffic) are answered without
+touching the model at all, and a publish invalidates every cached result of
+previous generations simply by moving to a new generation tag (stale entries
+are also evicted eagerly).
+
+Update protocol (ingest-while-serve)::
+
+    server = EstimatorServer(estimator)
+    ...
+    model = server.checkout()      # private deep copy (copy-on-write)
+    model.insert(batch)            # ingestion mutates only the copy
+    model.flush()
+    server.publish(model)          # atomic swap + cache invalidation
+
+Readers call ``estimate_batch`` concurrently throughout; the served model is
+never mutated in place (``publish`` flushes streaming models up front so the
+read path's lazy ``flush()`` is a no-op on the served copy).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError, NotFittedError
+from repro.core.estimator import SelectivityEstimator, StreamingEstimator
+from repro.workload.queries import CompiledQueries, RangeQuery, compile_queries
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
+    from repro.persist.store import ModelStore
+
+__all__ = ["EstimatorServer", "ServerCacheInfo"]
+
+
+@dataclass(frozen=True)
+class ServerCacheInfo:
+    """Cache counters of an :class:`EstimatorServer` (one consistent read)."""
+
+    hits: int
+    misses: int
+    size: int
+    max_size: int
+    generation: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class EstimatorServer:
+    """Serve ``estimate_batch`` traffic over swappable model versions.
+
+    Parameters
+    ----------
+    estimator:
+        The initially served (fitted) estimator.  The server takes ownership:
+        after construction the model must only be evolved through
+        :meth:`checkout` / :meth:`publish`.
+    cache_size:
+        Maximum number of cached batch results (``0`` disables caching).
+    store:
+        Optional :class:`~repro.persist.store.ModelStore`; when given,
+        every :meth:`publish` also persists the new version under
+        ``model_name``.
+    model_name:
+        Store name used with ``store`` (required when ``store`` is given).
+    """
+
+    def __init__(
+        self,
+        estimator: SelectivityEstimator,
+        cache_size: int = 256,
+        store: "ModelStore | None" = None,
+        model_name: str | None = None,
+    ) -> None:
+        if not estimator.is_fitted:
+            raise NotFittedError("EstimatorServer requires a fitted estimator")
+        if cache_size < 0:
+            raise InvalidParameterError("cache_size must be non-negative")
+        if store is not None and not model_name:
+            raise InvalidParameterError("model_name is required when a store is given")
+        if isinstance(estimator, StreamingEstimator):
+            estimator.flush()
+        self.cache_size = int(cache_size)
+        self.store = store
+        self.model_name = model_name
+        # (generation, model) is swapped as one tuple: readers grab both with
+        # a single attribute load, so a concurrent publish can never pair the
+        # old model with the new generation (or vice versa).
+        self._current: tuple[int, SelectivityEstimator] = (1, estimator)
+        self._lock = threading.Lock()
+        self._cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Generation of the currently served model (bumped on publish)."""
+        return self._current[0]
+
+    @property
+    def model(self) -> SelectivityEstimator:
+        """The currently served model (treat as immutable)."""
+        return self._current[1]
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Attributes covered by the served model."""
+        return self._current[1].columns
+
+    def cache_info(self) -> ServerCacheInfo:
+        """Consistent snapshot of the cache counters."""
+        with self._lock:
+            return ServerCacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._cache),
+                max_size=self.cache_size,
+                generation=self._current[0],
+            )
+
+    # -- serving ---------------------------------------------------------------
+    @staticmethod
+    def _plan_key(generation: int, plan: CompiledQueries) -> tuple:
+        digest = hashlib.sha256()
+        digest.update(repr(plan.columns).encode())
+        digest.update(plan.lows.tobytes())
+        digest.update(plan.highs.tobytes())
+        return (generation, len(plan), digest.digest())
+
+    def estimate_batch(
+        self, queries: Sequence[RangeQuery] | CompiledQueries
+    ) -> np.ndarray:
+        """Vector of selectivity estimates for a workload (cached, thread-safe).
+
+        The returned array is read-only and may be shared between callers
+        that submit the same plan — treat it as immutable.
+        """
+        return self.estimate_batch_tagged(queries)[1]
+
+    def estimate_batch_tagged(
+        self, queries: Sequence[RangeQuery] | CompiledQueries
+    ) -> tuple[int, np.ndarray]:
+        """Like :meth:`estimate_batch`, also returning the serving generation.
+
+        The generation identifies the model version that produced (or cached)
+        the result — the hook concurrency tests and version-aware clients use
+        to attribute an answer to a publish.
+        """
+        generation, model = self._current
+        plan = compile_queries(queries, model.columns)
+        if self.cache_size == 0:
+            return generation, model.estimate_batch(plan)
+        key = self._plan_key(generation, plan)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                return generation, cached
+            self._misses += 1
+        result = model.estimate_batch(plan)
+        result.setflags(write=False)
+        with self._lock:
+            # Only results of the *current* generation are admitted: a read
+            # that raced a publish may hold a now-superseded model, and its
+            # result must not outlive that version in the cache.
+            if key[0] == self._current[0]:
+                self._cache[key] = result
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+        return generation, result
+
+    def estimate(self, query: RangeQuery) -> float:
+        """Scalar sugar over a one-row batch (mirrors the estimator API)."""
+        return float(self.estimate_batch((query,))[0])
+
+    def estimate_batch_many(
+        self,
+        workloads: Sequence[Sequence[RangeQuery] | CompiledQueries],
+        max_workers: int = 4,
+    ) -> list[np.ndarray]:
+        """Answer many workloads concurrently on a thread pool.
+
+        This is the multi-threaded batch entry point: numpy releases the GIL
+        in the kernels that dominate batch estimation, so independent
+        workloads overlap on multi-core hardware; cached workloads are
+        answered without touching the model at all.
+        """
+        if max_workers < 1:
+            raise InvalidParameterError("max_workers must be positive")
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(self.estimate_batch, workloads))
+
+    # -- copy-on-write updates -------------------------------------------------
+    def checkout(self) -> SelectivityEstimator:
+        """Private deep copy of the served model for a writer to mutate.
+
+        The copy shares nothing with the served model, so ``insert`` /
+        ``flush`` / ``feedback`` on it never disturb concurrent readers.
+        """
+        return copy.deepcopy(self._current[1])
+
+    def publish(self, model: SelectivityEstimator) -> int:
+        """Atomically swap ``model`` in as the new served version.
+
+        Streaming models are flushed first (the served copy must be
+        effectively immutable on the read path), the ``(generation, model)``
+        pair is replaced in one assignment, stale cache entries are evicted,
+        and — when the server was built over a model store — the new version
+        is also persisted.  Returns the new generation.
+        """
+        if not model.is_fitted:
+            raise NotFittedError("cannot publish an unfitted model")
+        if isinstance(model, StreamingEstimator):
+            model.flush()
+        with self._lock:
+            generation = self._current[0] + 1
+            self._current = (generation, model)
+            for key in [k for k in self._cache if k[0] != generation]:
+                del self._cache[key]
+        if self.store is not None and self.model_name:
+            self.store.publish(self.model_name, model)
+        return generation
+
+    # alias: "swap" is the wire-level name used in the design discussion
+    swap = publish

@@ -116,6 +116,34 @@ class ReservoirSampler:
         self._size = 0
         self._seen = 0
 
+    # -- persistence -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot: retained rows, stream position and generator state.
+
+        The generator state (a JSON-serialisable nested dict of plain ints)
+        is included so a restored reservoir continues the stream with exactly
+        the replacement decisions the original would have made.
+        """
+        return {
+            "rows": self._rows[: self._size].copy(),
+            "seen": int(self._seen),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (capacity must match)."""
+        rows = np.asarray(state["rows"], dtype=float).reshape(-1, self.dimensions)
+        if rows.shape[0] > self.capacity:
+            raise InvalidParameterError(
+                f"snapshot holds {rows.shape[0]} rows but capacity is {self.capacity}"
+            )
+        self._rows[: rows.shape[0]] = rows
+        self._size = int(rows.shape[0])
+        self._seen = int(state["seen"])
+        rng_state = state.get("rng_state")
+        if rng_state is not None:
+            self._rng.bit_generator.state = rng_state
+
 
 class DecayedReservoirSampler(ReservoirSampler):
     """Biased reservoir sample favouring recent rows.

@@ -1,0 +1,205 @@
+"""Snapshot round-trip contract: ``load(save(est))`` is bitwise faithful.
+
+For every registered estimator, saving to a single ``.npz`` file and loading
+it back must reproduce ``estimate_batch`` output with zero tolerance, along
+with the fitted metadata (columns, row count, memory accounting).  The suite
+also pins the satellite guarantees: snapshots flush pending streaming
+buffers, restored reservoirs continue their stream identically, and the
+format-version policy rejects snapshots from the future instead of guessing.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.errors import NotFittedError, PersistenceError
+from repro.core.estimator import (
+    SelectivityEstimator,
+    available_estimators,
+    create_estimator,
+)
+from repro.core.streaming import StreamingADE
+from repro.engine.table import Table
+from repro.persist.snapshot import (
+    FORMAT_VERSION,
+    HEADER_KEY,
+    load_estimator,
+    read_snapshot_header,
+    save_estimator,
+)
+from repro.workload.queries import RangeQuery, compile_queries
+
+ALL_ESTIMATORS = sorted(available_estimators())
+
+#: Constructor overrides keeping per-test fit cost small.
+_FAST_KWARGS: dict[str, dict] = {
+    "kde": {"sample_size": 200},
+    "adaptive_kde": {"sample_size": 200},
+    "sampling": {"sample_size": 200},
+    "reservoir_sampling": {"sample_size": 200},
+    "streaming_ade": {"max_kernels": 32},
+    "grid": {"cells_per_dim": 8},
+    "st_histogram": {"cells_per_dim": 6},
+    "wavelet": {"resolution": 64, "coefficients": 16},
+}
+
+
+def _fitted(name: str, table: Table) -> SelectivityEstimator:
+    return create_estimator(name, **_FAST_KWARGS.get(name, {})).fit(table)
+
+
+@pytest.mark.parametrize("name", ALL_ESTIMATORS)
+class TestRoundTrip:
+    def test_estimates_bitwise_equal(
+        self, name: str, mixture_table_2d: Table, workload_2d, tmp_path
+    ) -> None:
+        estimator = _fitted(name, mixture_table_2d)
+        plan = compile_queries(workload_2d, estimator.columns)
+        before = estimator.estimate_batch(plan)
+        path = tmp_path / f"{name}.npz"
+        estimator.save(path)
+        loaded = load_estimator(path)
+        np.testing.assert_allclose(loaded.estimate_batch(plan), before, rtol=0.0, atol=0.0)
+
+    def test_metadata_survives(self, name: str, small_table: Table, tmp_path) -> None:
+        estimator = _fitted(name, small_table)
+        path = tmp_path / f"{name}.npz"
+        estimator.save(path)
+        loaded = load_estimator(path)
+        assert type(loaded) is type(estimator)
+        assert loaded.is_fitted
+        assert loaded.columns == estimator.columns
+        assert loaded.row_count == estimator.row_count
+        assert loaded.memory_bytes() == estimator.memory_bytes()
+        assert loaded.config() == estimator.config()
+
+    def test_state_dict_roundtrip_without_disk(
+        self, name: str, small_table: Table, workload_1d
+    ) -> None:
+        estimator = _fitted(name, small_table)
+        before = estimator.estimate_batch(workload_1d)
+        clone = create_estimator(name, **_FAST_KWARGS.get(name, {}))
+        clone.load_state(estimator.state_dict())
+        np.testing.assert_allclose(
+            clone.estimate_batch(workload_1d), before, rtol=0.0, atol=0.0
+        )
+
+    def test_header_is_json_and_versioned(
+        self, name: str, small_table: Table, tmp_path
+    ) -> None:
+        estimator = _fitted(name, small_table)
+        path = tmp_path / f"{name}.npz"
+        estimator.save(path)
+        header = read_snapshot_header(path)
+        assert header["format"] == FORMAT_VERSION
+        assert header["estimator"] == name
+        assert header["columns"] == list(estimator.columns)
+        assert header["row_count"] == estimator.row_count
+        json.dumps(header)  # the whole header must be pure JSON
+
+    def test_load_state_rejects_wrong_estimator(
+        self, name: str, small_table: Table
+    ) -> None:
+        estimator = _fitted(name, small_table)
+        other = "kde" if name != "kde" else "sampling"
+        with pytest.raises(Exception):
+            create_estimator(other).load_state(estimator.state_dict())
+
+
+class TestSnapshotEdgeCases:
+    @pytest.mark.parametrize("name", ALL_ESTIMATORS)
+    def test_unfitted_estimator_roundtrips_as_unfitted(self, name, tmp_path) -> None:
+        estimator = create_estimator(name, **_FAST_KWARGS.get(name, {}))
+        path = tmp_path / "unfitted.npz"
+        save_estimator(estimator, path)
+        loaded = load_estimator(path)
+        assert not loaded.is_fitted
+        assert loaded.config() == estimator.config()
+        with pytest.raises(NotFittedError):
+            loaded.estimate(RangeQuery({"x0": (0.0, 1.0)}))
+
+    def test_feedback_log_survives(self, mixture_table_2d, workload_2d, tmp_path) -> None:
+        estimator = create_estimator("feedback_ade").fit(mixture_table_2d)
+        truths = mixture_table_2d.true_selectivities(workload_2d)
+        for query, truth in zip(workload_2d[:25], truths[:25]):
+            estimator.feedback(query, float(truth))
+        before = estimator.estimate_batch(workload_2d)
+        path = tmp_path / "feedback.npz"
+        estimator.save(path)
+        loaded = load_estimator(path)
+        assert loaded.feedback_count == estimator.feedback_count
+        assert loaded.record_count == estimator.record_count
+        np.testing.assert_allclose(
+            loaded.estimate_batch(workload_2d), before, rtol=0.0, atol=0.0
+        )
+
+    def test_streaming_pending_buffer_is_flushed_into_snapshot(self, tmp_path) -> None:
+        """Regression: rows buffered below chunk_size must not vanish on save."""
+        estimator = StreamingADE(max_kernels=32, chunk_size=256)
+        estimator.start(["x0", "x1"])
+        rows = np.random.default_rng(5).normal(size=(100, 2))  # all stay pending
+        estimator.insert(rows)
+        assert estimator._pending_count == 100  # the buffer really is populated
+        path = tmp_path / "pending.npz"
+        estimator.save(path)
+        loaded = load_estimator(path)
+        assert loaded.row_count == 100
+        assert loaded.kernel_count > 0  # flushed into kernels, not dropped
+        query = RangeQuery({"x0": (-10.0, 10.0), "x1": (-10.0, 10.0)})
+        assert loaded.estimate(query) == estimator.estimate(query) > 0.0
+
+    def test_streaming_continues_ingesting_after_load(self, tmp_path) -> None:
+        """A restored streaming model is a live model, not a frozen artifact."""
+        rng = np.random.default_rng(6)
+        first, second = rng.normal(size=(300, 2)), rng.normal(loc=3.0, size=(300, 2))
+        original = StreamingADE(max_kernels=32).start(["x0", "x1"])
+        original.insert(first)
+        path = tmp_path / "live.npz"
+        original.save(path)
+        loaded = load_estimator(path)
+        original.insert(second)
+        loaded.insert(second)
+        query = RangeQuery({"x0": (2.0, 4.0), "x1": (2.0, 4.0)})
+        assert loaded.estimate(query) == original.estimate(query)
+
+    def test_reservoir_replays_stream_identically_after_load(self, tmp_path) -> None:
+        """The restored generator state makes future replacements identical."""
+        rng = np.random.default_rng(7)
+        first, second = rng.normal(size=(500, 1)), rng.normal(size=(500, 1))
+        original = create_estimator("reservoir_sampling", sample_size=64)
+        original.start(["x0"])
+        original.insert(first)
+        path = tmp_path / "reservoir.npz"
+        original.save(path)
+        loaded = load_estimator(path)
+        original.insert(second)
+        loaded.insert(second)
+        np.testing.assert_array_equal(
+            loaded._reservoir.sample(), original._reservoir.sample()
+        )
+
+    def test_future_format_rejected(self, small_table, tmp_path) -> None:
+        estimator = create_estimator("independence").fit(small_table)
+        path = tmp_path / "future.npz"
+        estimator.save(path)
+        with np.load(path, allow_pickle=False) as data:
+            payload = {key: data[key] for key in data.files}
+        header = json.loads(bytes(payload[HEADER_KEY]).decode())
+        header["format"] = FORMAT_VERSION + 1
+        payload[HEADER_KEY] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        with open(path, "wb") as handle:
+            np.savez(handle, **payload)
+        with pytest.raises(PersistenceError, match="format"):
+            load_estimator(path)
+
+    def test_non_snapshot_archive_rejected(self, tmp_path) -> None:
+        path = tmp_path / "not_a_snapshot.npz"
+        with open(path, "wb") as handle:
+            np.savez(handle, stuff=np.zeros(3))
+        with pytest.raises(PersistenceError, match="missing header"):
+            load_estimator(path)
