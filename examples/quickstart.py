@@ -15,7 +15,12 @@ per-tuple loop cannot approach — and the model it builds is then *persisted*
 to a versioned on-disk store and served back through an
 :class:`~repro.serve.EstimatorServer`, so the synopsis survives the process
 that built it (see ``examples/persistence_serving.py`` for the full
-save → restart → restore → serve walkthrough).
+save → restart → restore → serve walkthrough).  The closing section shards
+the relation: a :class:`~repro.shard.sharded.ShardedEstimator` fits one
+synopsis per hash partition in parallel, answers the same compiled plan
+(bitwise-equal to the monolithic histogram — the histogram family merges
+shard states exactly), and refreshes a single shard without touching the
+others.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from repro import (
     EstimatorServer,
     ModelStore,
     SamplingEstimator,
+    ShardedEstimator,
     StreamingADE,
     UniformWorkload,
     compile_queries,
@@ -130,6 +136,27 @@ def main() -> None:
             f"{len(plan)} queries (cache hit rate {info.hit_rate:.0%}, "
             f"generation {info.generation}); first estimate {first[0]:.4f}"
         )
+
+    # 7. Sharding: partition the relation and the synopsis.  The sharded
+    #    front end is itself an estimator — fit routes one base-synopsis
+    #    clone per partition (fitted in parallel), estimate_batch reduces
+    #    per-shard answers (bitwise-equal to the monolithic histogram here,
+    #    because the histogram family merges its shard states exactly), and
+    #    one shard can be refreshed without rebuilding the rest.
+    monolithic = EquiDepthHistogram(buckets=64).fit(table)
+    sharded = ShardedEstimator(
+        EquiDepthHistogram(buckets=64), shards=4, partitioner="hash"
+    ).fit(table)
+    agree = bool((sharded.estimate_batch(plan) == monolithic.estimate_batch(plan)).all())
+    print()
+    print(
+        f"sharded equi-depth synopsis: {sharded.shard_count} shards of "
+        f"{sharded.shard_row_counts().tolist()} rows, estimates bitwise-equal "
+        f"to the monolithic fit: {agree}"
+    )
+    table.append_matrix(table.as_matrix()[:1_000])  # new rows arrive ...
+    sharded.refit_shard(2, table)                   # ... refresh one shard only
+    print(f"refreshed shard 2 only; synopsis now models {sharded.row_count} rows")
 
 
 if __name__ == "__main__":

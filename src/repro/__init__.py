@@ -111,9 +111,21 @@ from repro.persist import (
     ModelStore,
     ModelVersion,
     load_estimator,
+    load_sharded,
     save_estimator,
+    save_sharded,
 )
 from repro.serve import EstimatorServer, ServerCacheInfo
+from repro.shard import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    RoundRobinPartitioner,
+    ShardedEstimator,
+    ShardExecutor,
+    make_partitioner,
+    partition_table,
+)
 from repro.stream.reservoir import DecayedReservoirSampler, ReservoirSampler
 from repro.stream.windows import SlidingWindow
 from repro.workload.generators import (
@@ -180,11 +192,22 @@ __all__ = [
     "JoinSpec",
     "Plan",
     "plan_regret",
+    # sharded estimation
+    "ShardedEstimator",
+    "ShardExecutor",
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "RoundRobinPartitioner",
+    "make_partitioner",
+    "partition_table",
     # persistence & serving
     "ModelStore",
     "ModelVersion",
     "save_estimator",
     "load_estimator",
+    "save_sharded",
+    "load_sharded",
     "EstimatorServer",
     "ServerCacheInfo",
     # data & workloads

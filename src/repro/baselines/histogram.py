@@ -17,7 +17,7 @@ a bucket receives a proportional share of the bucket's rows.
 from __future__ import annotations
 
 from abc import abstractmethod
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -112,7 +112,18 @@ class Histogram1D:
 
 
 class _PerAttributeHistogramEstimator(SelectivityEstimator):
-    """Shared machinery of the AVI histogram estimators."""
+    """Shared machinery of the AVI histogram estimators.
+
+    Both subclasses are true state-merge synopses: the sharding coordinator
+    computes global bucket edges once (:meth:`shard_frame`), every shard
+    counts its rows over those shared edges (:meth:`fit_shard`), and
+    :meth:`merge_state` sums the integer bucket counts — float-exact, so the
+    merged histogram reproduces a monolithic fit bitwise.
+    """
+
+    supports_merge = True
+    merge_lossless = True
+    merge_exact = True
 
     def __init__(self, buckets: int = 64) -> None:
         super().__init__()
@@ -122,15 +133,77 @@ class _PerAttributeHistogramEstimator(SelectivityEstimator):
         self._histograms: dict[str, Histogram1D] = {}
 
     @abstractmethod
-    def _build_histogram(self, values: np.ndarray) -> Histogram1D:
-        """Build the per-attribute histogram (equi-width vs equi-depth)."""
+    def _frame_edges(self, values: np.ndarray) -> np.ndarray:
+        """Bucket edges for one attribute (equi-width vs equi-depth)."""
+
+    def _build_histogram(
+        self, values: np.ndarray, edges: np.ndarray | None = None
+    ) -> Histogram1D:
+        """Count ``values`` into a histogram (edges given, or derived)."""
+        values = np.asarray(values, dtype=float)
+        if edges is None:
+            edges = self._frame_edges(values)
+        if values.size == 0:
+            return Histogram1D(edges, np.zeros(edges.size - 1))
+        counts, _ = np.histogram(values, bins=edges)
+        counts = counts.astype(float)
+        # np.histogram drops values equal to an internal repeated edge into
+        # the right bucket, and (under a shared frame) shard values may sit
+        # exactly on the outermost edges; recompute the total so no row
+        # inside the frame is lost.
+        inside = np.count_nonzero((values >= edges[0]) & (values <= edges[-1]))
+        missing = inside - counts.sum()
+        if missing > 0 and counts.size:
+            counts[-1] += missing
+        return Histogram1D(edges, counts)
 
     def fit(self, table: Table, columns: Sequence[str] | None = None) -> "SelectivityEstimator":
+        return self.fit_shard(table, columns, frame=None)
+
+    def fit_shard(
+        self,
+        table: Table,
+        columns: Sequence[str] | None = None,
+        frame: "Mapping[str, np.ndarray] | None" = None,
+    ) -> "SelectivityEstimator":
         columns = self._resolve_columns(table, columns)
+        frame = frame or {}
         self._histograms = {}
         for column in columns:
-            self._histograms[column] = self._build_histogram(table.column(column))
+            edges = frame.get(f"edges::{column}")
+            self._histograms[column] = self._build_histogram(
+                table.column(column), None if edges is None else np.asarray(edges)
+            )
         self._mark_fitted(columns, table.row_count)
+        return self
+
+    def shard_frame(
+        self, table: Table, columns: Sequence[str]
+    ) -> dict[str, np.ndarray]:
+        return {
+            f"edges::{column}": self._frame_edges(
+                np.asarray(table.column(column), dtype=float)
+            )
+            for column in columns
+        }
+
+    def merge_state(self, shards: Sequence[SelectivityEstimator]) -> "SelectivityEstimator":
+        peers = self._require_merge_peers(shards)
+        columns = peers[0].columns
+        merged: dict[str, Histogram1D] = {}
+        for column in columns:
+            histograms = [peer.histogram(column) for peer in peers]
+            edges = histograms[0].edges
+            for histogram in histograms[1:]:
+                if not np.array_equal(histogram.edges, edges):
+                    raise InvalidParameterError(
+                        f"shard histograms over {column!r} were not built against "
+                        "a common frame (bucket edges differ)"
+                    )
+            counts = np.sum([histogram.counts for histogram in histograms], axis=0)
+            merged[column] = Histogram1D(edges, counts)
+        self._histograms = merged
+        self._mark_fitted(columns, sum(peer.row_count for peer in peers))
         return self
 
     def histogram(self, column: str) -> Histogram1D:
@@ -179,18 +252,14 @@ class EquiWidthHistogram(_PerAttributeHistogramEstimator):
 
     name = "equiwidth"
 
-    def _build_histogram(self, values: np.ndarray) -> Histogram1D:
-        values = np.asarray(values, dtype=float)
+    def _frame_edges(self, values: np.ndarray) -> np.ndarray:
         if values.size == 0:
-            edges = np.linspace(0.0, 1.0, self.buckets + 1)
-            return Histogram1D(edges, np.zeros(self.buckets))
+            return np.linspace(0.0, 1.0, self.buckets + 1)
         low = float(values.min())
         high = float(values.max())
         if high <= low:
             high = low + 1.0
-        edges = np.linspace(low, high, self.buckets + 1)
-        counts, _ = np.histogram(values, bins=edges)
-        return Histogram1D(edges, counts.astype(float))
+        return np.linspace(low, high, self.buckets + 1)
 
 
 @register_estimator("equidepth")
@@ -199,19 +268,9 @@ class EquiDepthHistogram(_PerAttributeHistogramEstimator):
 
     name = "equidepth"
 
-    def _build_histogram(self, values: np.ndarray) -> Histogram1D:
-        values = np.asarray(values, dtype=float)
+    def _frame_edges(self, values: np.ndarray) -> np.ndarray:
         if values.size == 0:
-            edges = np.linspace(0.0, 1.0, self.buckets + 1)
-            return Histogram1D(edges, np.zeros(self.buckets))
+            return np.linspace(0.0, 1.0, self.buckets + 1)
         quantiles = np.linspace(0.0, 100.0, self.buckets + 1)
         edges = np.percentile(values, quantiles)
-        edges = np.maximum.accumulate(edges)
-        counts, _ = np.histogram(values, bins=edges)
-        # np.histogram drops values equal to an internal repeated edge into the
-        # right bucket; recompute the total so no row is lost.
-        counts = counts.astype(float)
-        missing = values.size - counts.sum()
-        if missing > 0 and counts.size:
-            counts[-1] += missing
-        return Histogram1D(edges, counts)
+        return np.maximum.accumulate(edges)

@@ -40,6 +40,14 @@ class IndependenceEstimator(SelectivityEstimator):
 
     name = "independence"
 
+    # State-merge via sufficient statistics: min/max combine exactly, the
+    # mean/std combine through weighted moments.  The moment recombination
+    # differs from a single-pass np.mean/np.std only in float summation
+    # order, so the merge is exact up to rounding — not bitwise.
+    supports_merge = True
+    merge_lossless = True
+    merge_exact = False
+
     def __init__(self, model: str = "uniform") -> None:
         super().__init__()
         if model not in ("uniform", "normal"):
@@ -60,6 +68,33 @@ class IndependenceEstimator(SelectivityEstimator):
             self._mean[column] = stats.mean if stats.count else 0.5
             self._std[column] = stats.std if stats.count and stats.std > 0 else 1e-9
         self._mark_fitted(columns, table.row_count)
+        return self
+
+    def merge_state(
+        self, shards: Sequence[SelectivityEstimator]
+    ) -> "IndependenceEstimator":
+        peers = self._require_merge_peers(shards)
+        columns = peers[0].columns
+        populated = [p for p in peers if p.row_count > 0]
+        weights = np.array([p.row_count for p in populated], dtype=float)
+        total = weights.sum()
+        self._low, self._high, self._mean, self._std = {}, {}, {}, {}
+        for column in columns:
+            if total <= 0:
+                self._low[column], self._high[column] = 0.0, 1.0
+                self._mean[column], self._std[column] = 0.5, 1e-9
+                continue
+            self._low[column] = min(p._low[column] for p in populated)
+            self._high[column] = max(p._high[column] for p in populated)
+            means = np.array([p._mean[column] for p in populated])
+            stds = np.array([p._std[column] for p in populated])
+            mean = float((weights * means).sum() / total)
+            # E[x^2] combines linearly; recover the pooled std from it.
+            second = float((weights * (stds**2 + means**2)).sum() / total)
+            std = float(np.sqrt(max(second - mean**2, 0.0)))
+            self._mean[column] = mean
+            self._std[column] = std if std > 0 else 1e-9
+        self._mark_fitted(columns, int(total))
         return self
 
     # -- persistence -----------------------------------------------------------

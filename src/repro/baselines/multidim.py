@@ -15,7 +15,7 @@ from a byte budget when ``budget_bytes`` is given.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -105,6 +105,14 @@ class GridHistogram(SelectivityEstimator):
 
     name = "grid"
 
+    # True state-merge: the sharding coordinator pins the grid boundaries on
+    # the full table (shard_frame), shards count cells over the shared frame,
+    # and merge_state sums the integer cell counts — bitwise-exact vs. a
+    # monolithic fit.
+    supports_merge = True
+    merge_lossless = True
+    merge_exact = True
+
     def __init__(
         self, cells_per_dim: int | None = 16, budget_bytes: int | None = None
     ) -> None:
@@ -125,22 +133,31 @@ class GridHistogram(SelectivityEstimator):
         self._total = 0.0
 
     def fit(self, table: Table, columns: Sequence[str] | None = None) -> "GridHistogram":
+        return self.fit_shard(table, columns, frame=None)
+
+    def fit_shard(
+        self,
+        table: Table,
+        columns: Sequence[str] | None = None,
+        frame: Mapping[str, np.ndarray] | None = None,
+    ) -> "GridHistogram":
         columns = self._resolve_columns(table, columns)
         data = table.columns(columns)
         dims = len(columns)
         self._resolution = self._pick_resolution(dims)
-        if data.shape[0] == 0:
+        if frame is not None and "grid::low" in frame:
+            self._low = np.asarray(frame["grid::low"], dtype=float)
+            self._high = np.asarray(frame["grid::high"], dtype=float)
+        elif data.shape[0] == 0:
             self._low = np.zeros(dims)
             self._high = np.ones(dims)
+        else:
+            self._low, self._high = self._frame_bounds(data)
+        if data.shape[0] == 0:
             self._cells = np.zeros(self._resolution**dims)
             self._total = 0.0
             self._mark_fitted(columns, 0)
             return self
-        self._low = data.min(axis=0).astype(float)
-        self._high = data.max(axis=0).astype(float)
-        span = self._high - self._low
-        span[span <= 0] = 1.0
-        self._high = self._low + span
 
         edges = [
             np.linspace(self._low[d], self._high[d], self._resolution + 1) for d in range(dims)
@@ -149,6 +166,48 @@ class GridHistogram(SelectivityEstimator):
         self._cells = counts.astype(float).ravel()
         self._total = float(self._cells.sum())
         self._mark_fitted(columns, table.row_count)
+        return self
+
+    @staticmethod
+    def _frame_bounds(data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Grid boundaries over ``data`` (degenerate spans widened to 1)."""
+        low = data.min(axis=0).astype(float)
+        high = data.max(axis=0).astype(float)
+        span = high - low
+        span[span <= 0] = 1.0
+        return low, low + span
+
+    def shard_frame(
+        self, table: Table, columns: Sequence[str]
+    ) -> dict[str, np.ndarray]:
+        data = table.columns(list(columns))
+        if data.shape[0] == 0:
+            return {}
+        low, high = self._frame_bounds(data)
+        return {"grid::low": low, "grid::high": high}
+
+    def merge_state(self, shards: Sequence[SelectivityEstimator]) -> "GridHistogram":
+        peers = self._require_merge_peers(shards)
+        first = peers[0]
+        populated = [p for p in peers if p._cells.size and p._total > 0] or [first]
+        reference = populated[0]
+        for peer in populated[1:]:
+            if (
+                peer._resolution != reference._resolution
+                or not np.array_equal(peer._low, reference._low)
+                or not np.array_equal(peer._high, reference._high)
+            ):
+                raise InvalidParameterError(
+                    "shard grids were not built against a common frame "
+                    "(boundaries or resolution differ)"
+                )
+        self._resolution = reference._resolution
+        self._low = reference._low.copy()
+        self._high = reference._high.copy()
+        cells = [p._cells for p in peers if p._cells.size == reference._cells.size]
+        self._cells = np.sum(cells, axis=0, dtype=float)
+        self._total = float(self._cells.sum())
+        self._mark_fitted(first.columns, sum(peer.row_count for peer in peers))
         return self
 
     def _pick_resolution(self, dims: int) -> int:

@@ -32,6 +32,40 @@ from repro.stream.reservoir import DecayedReservoirSampler, ReservoirSampler
 __all__ = ["SamplingEstimator", "ReservoirSamplingEstimator"]
 
 
+def _weighted_sample_merge(
+    row_blocks: Sequence[np.ndarray],
+    block_weights: Sequence[float],
+    size: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw a ``size``-row sample from pooled per-shard samples.
+
+    Each block is a uniform sample of one shard; a block row represents
+    ``shard_rows / block_rows`` stream rows, so drawing without replacement
+    with those per-row weights yields a (statistically, not bitwise) uniform
+    sample of the union — the standard mergeable-sample construction.
+    """
+    blocks = [np.atleast_2d(np.asarray(b, dtype=float)) for b in row_blocks]
+    kept = [
+        (block, weight / block.shape[0])
+        for block, weight in zip(blocks, block_weights)
+        if block.shape[0] and weight > 0
+    ]
+    if not kept:
+        width = max((b.shape[1] for b in blocks), default=0)
+        return np.empty((0, width))
+    pool = np.concatenate([block for block, _ in kept], axis=0)
+    weights = np.concatenate(
+        [np.full(block.shape[0], row_weight) for block, row_weight in kept]
+    )
+    if pool.shape[0] <= size:
+        return pool
+    index = rng.choice(
+        pool.shape[0], size=size, replace=False, p=weights / weights.sum()
+    )
+    return pool[index]
+
+
 def _fractions_in_box(rows: np.ndarray, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
     """Fraction of ``rows`` inside every box of the ``(n, d)`` bound matrices.
 
@@ -70,6 +104,11 @@ class SamplingEstimator(SelectivityEstimator):
 
     name = "sampling"
 
+    # True state-merge: per-shard uniform samples pool into a weighted
+    # sample of the union.  Statistically uniform, but a different draw than
+    # the monolithic rng.choice — hence not bitwise (merge_exact stays False).
+    supports_merge = True
+
     def __init__(self, sample_size: int = 1000, seed: int | None = 0) -> None:
         super().__init__()
         if sample_size < 1:
@@ -95,6 +134,20 @@ class SamplingEstimator(SelectivityEstimator):
         """Copy of the retained sample."""
         self._require_fitted()
         return self._rows.copy()
+
+    def merge_state(
+        self, shards: Sequence[SelectivityEstimator]
+    ) -> "SamplingEstimator":
+        peers = self._require_merge_peers(shards)
+        rng = np.random.default_rng(self.seed)
+        self._rows = _weighted_sample_merge(
+            [peer._rows for peer in peers],
+            [float(peer.row_count) for peer in peers],
+            self.sample_size,
+            rng,
+        )
+        self._mark_fitted(peers[0].columns, sum(peer.row_count for peer in peers))
+        return self
 
     # -- persistence -----------------------------------------------------------
     def _config_params(self) -> dict:
@@ -132,6 +185,11 @@ class ReservoirSamplingEstimator(StreamingEstimator):
     """
 
     name = "reservoir_sampling"
+
+    # Mergeable like the static sampler: pooled per-shard reservoirs are
+    # resampled proportionally to each shard's stream length (statistical,
+    # not bitwise).
+    supports_merge = True
 
     def __init__(self, sample_size: int = 1000, decay: bool = False, seed: int | None = 0) -> None:
         super().__init__()
@@ -171,6 +229,37 @@ class ReservoirSamplingEstimator(StreamingEstimator):
         before = self._reservoir.seen
         self._reservoir.insert(rows)
         self._row_count += self._reservoir.seen - before
+
+    def merge_state(
+        self, shards: Sequence[SelectivityEstimator]
+    ) -> "ReservoirSamplingEstimator":
+        peers = self._require_merge_peers(shards)
+        columns = peers[0].columns
+        self.start(columns)
+        assert self._reservoir is not None
+        rng = np.random.default_rng(self.seed)
+        merged_rows = _weighted_sample_merge(
+            [
+                peer._reservoir.sample()
+                if peer._reservoir is not None
+                else np.empty((0, len(columns)))
+                for peer in peers
+            ],
+            [
+                float(peer._reservoir.seen) if peer._reservoir is not None else 0.0
+                for peer in peers
+            ],
+            self.sample_size,
+            rng,
+        )
+        seen = sum(
+            peer._reservoir.seen for peer in peers if peer._reservoir is not None
+        )
+        self._reservoir.load_state(
+            {"rows": merged_rows.reshape(-1, len(columns)), "seen": int(seen)}
+        )
+        self._mark_fitted(columns, sum(peer.row_count for peer in peers))
+        return self
 
     # -- persistence -----------------------------------------------------------
     def _config_params(self) -> dict:

@@ -57,6 +57,30 @@ Every estimator is snapshotable:
 Subclasses implement the paired hooks ``_state()`` (returning
 ``(arrays, meta)``) and ``_restore_state(arrays, meta)``; the base class
 handles the envelope (registry name, config, columns, row count).
+
+Mergeable-synopsis protocol
+---------------------------
+
+The sharded estimation engine (:mod:`repro.shard`) partitions a table and
+fits one synopsis per partition.  Every estimator participates in sharding
+through one of two paths:
+
+* **True state-merge** — estimators with :attr:`supports_merge` set override
+  :meth:`merge_state` to fold the fitted states of per-shard synopses into a
+  single combined synopsis.  Synopses whose layout is decided by global data
+  properties (bucket edges, grid boundaries) additionally implement
+  :meth:`shard_frame`, which the shard coordinator evaluates once on the
+  *full* table; every per-shard :meth:`fit_shard` then builds against that
+  shared frame so the shard states are aligned and the merge is exact.
+  Estimators whose merged synopsis reproduces a monolithic fit *bitwise*
+  (integer bucket counts summed over aligned frames) also set
+  :attr:`merge_exact`; sample-based merges (reservoir subsampling) are
+  statistically equivalent but not bit-identical and leave it ``False``.
+* **Weighted estimate combination** — every estimator inherits
+  :meth:`combine_estimates`, a row-count-weighted average of per-shard
+  estimate vectors.  This is the universal fallback: a sharded front end can
+  serve any registered estimator by running one vectorized ``estimate_batch``
+  per shard and reducing with this method.
 """
 
 from __future__ import annotations
@@ -110,6 +134,18 @@ class SelectivityEstimator(ABC):
 
     #: registry name; subclasses override.
     name: str = "estimator"
+
+    #: Whether :meth:`merge_state` can fold per-shard synopses into one.
+    supports_merge: bool = False
+
+    #: Whether :meth:`merge_state` is a deterministic recombination of
+    #: sufficient statistics (exact up to float rounding).  Sample-based
+    #: merges resample and are only statistically equivalent.
+    merge_lossless: bool = False
+
+    #: Whether the merged synopsis reproduces a monolithic fit bitwise
+    #: (requires fitting every shard against the same :meth:`shard_frame`).
+    merge_exact: bool = False
 
     def __init__(self) -> None:
         self._fitted = False
@@ -253,6 +289,96 @@ class SelectivityEstimator(ABC):
         """Vector form of :meth:`_clip_fraction` (NaN collapses to 0)."""
         values = np.where(np.isnan(values), 0.0, values)
         return np.clip(values, 0.0, 1.0)
+
+    # -- mergeable-synopsis protocol (sharded estimation) ----------------------
+    def shard_frame(
+        self, table: Table, columns: Sequence[str]
+    ) -> dict[str, np.ndarray]:
+        """Global fit frame evaluated once on the *full* table by a sharder.
+
+        Estimators whose synopsis layout depends on global data properties
+        (bucket edges from min/max or quantiles, grid boundaries) return those
+        properties here; every per-shard :meth:`fit_shard` then builds against
+        the same frame, which is what makes :meth:`merge_state` exact.  The
+        default frame is empty — correct for estimators without global layout
+        decisions (samples) and for the weighted-combine fallback, which
+        never calls it.
+        """
+        return {}
+
+    def fit_shard(
+        self,
+        table: Table,
+        columns: Sequence[str] | None = None,
+        frame: Mapping[str, np.ndarray] | None = None,
+    ) -> "SelectivityEstimator":
+        """Fit on one shard's sub-table, honouring a coordinator ``frame``.
+
+        The default ignores the frame and delegates to :meth:`fit`; estimators
+        with :attr:`supports_merge` override it (or :meth:`fit`) so the frame
+        pins their layout.
+        """
+        return self.fit(table, columns)
+
+    def merge_state(
+        self, shards: Sequence["SelectivityEstimator"]
+    ) -> "SelectivityEstimator":
+        """Fold the fitted states of per-shard synopses into this instance.
+
+        ``self`` is a configuration-compatible (typically fresh) instance that
+        becomes the combined synopsis; ``shards`` are estimators of the same
+        registry name fitted on disjoint partitions (against a common
+        :meth:`shard_frame` where the estimator defines one).  Only available
+        when :attr:`supports_merge` is set.
+        """
+        raise InvalidParameterError(
+            f"{type(self).__name__} does not support state-merge; combine "
+            "per-shard estimates with combine_estimates() instead"
+        )
+
+    @classmethod
+    def combine_estimates(
+        cls, estimates: np.ndarray, row_counts: np.ndarray
+    ) -> np.ndarray:
+        """Row-count-weighted reduction of per-shard estimate vectors.
+
+        ``estimates`` is ``(shards, n)`` — one ``estimate_batch`` result per
+        shard — and ``row_counts`` the rows each shard models.  The default is
+        the weighted average, which is the exact global selectivity when each
+        per-shard estimate were exact (``sum_s n_s * p_s / sum_s n_s``).
+        Empty shards carry zero weight; an entirely empty table estimates 0.
+        """
+        estimates = np.atleast_2d(np.asarray(estimates, dtype=float))
+        weights = np.asarray(row_counts, dtype=float)
+        if estimates.shape[0] != weights.shape[0]:
+            raise InvalidParameterError(
+                f"{estimates.shape[0]} shard estimate vectors for "
+                f"{weights.shape[0]} shard row counts"
+            )
+        total = weights.sum()
+        if total <= 0:
+            return np.zeros(estimates.shape[1])
+        return (weights[:, None] * estimates).sum(axis=0) / total
+
+    def _require_merge_peers(
+        self, shards: Sequence["SelectivityEstimator"]
+    ) -> list["SelectivityEstimator"]:
+        """Validate a merge input: same registry name, every shard fitted."""
+        if not shards:
+            raise InvalidParameterError("merge_state needs at least one shard")
+        peers = list(shards)
+        for shard in peers:
+            if shard.name != self.name:
+                raise InvalidParameterError(
+                    f"cannot merge {shard.name!r} state into {self.name!r}"
+                )
+            if not shard.is_fitted:
+                raise NotFittedError("every merged shard must be fitted")
+            if shard.columns != peers[0].columns:
+                raise DimensionMismatchError(
+                    "merged shards must cover the same columns"
+                )
+        return peers
 
     # -- configuration & persistence -----------------------------------------
     def _config_params(self) -> dict[str, Any]:

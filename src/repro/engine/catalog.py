@@ -73,6 +73,31 @@ class Catalog:
         self._estimators[table_name] = estimator
         return estimator
 
+    def attach_sharded(
+        self,
+        table_name: str,
+        base: "SelectivityEstimator | Mapping | str",
+        shards: int = 4,
+        partitioner: str | Mapping = "hash",
+        columns: Sequence[str] | None = None,
+        **options,
+    ) -> "ShardedEstimator":
+        """Fit a partition-wise synopsis on the named table and attach it.
+
+        Builds a :class:`~repro.shard.sharded.ShardedEstimator` over ``base``
+        (an estimator instance, registry name or config mapping) with the
+        given shard count and routing policy; extra keyword ``options``
+        (``combine``, ``parallel``, ``max_workers``) are forwarded.  The
+        per-shard refresh path is :meth:`refresh` with a ``shard`` id.
+        """
+        from repro.shard.sharded import ShardedEstimator  # lazy: avoids a cycle
+
+        estimator = ShardedEstimator(
+            base, shards=shards, partitioner=partitioner, **options
+        )
+        self.attach_estimator(table_name, estimator, columns)
+        return estimator
+
     def attach_fitted(
         self, table_name: str, estimator: SelectivityEstimator
     ) -> SelectivityEstimator:
@@ -144,19 +169,40 @@ class Catalog:
         """Exact selectivities (vectorized full scans) for evaluation purposes."""
         return self.table(table_name).true_selectivities(queries)
 
-    def refresh(self, table_name: str) -> None:
-        """Refit the attached synopsis after the table changed (bulk rebuild)."""
+    def refresh(self, table_name: str, shard: int | None = None) -> None:
+        """Refit the attached synopsis after the table changed.
+
+        With ``shard=None`` the whole synopsis is rebuilt.  For a sharded
+        synopsis, passing a shard id refits only that partition's synopsis
+        (the frozen routing selects its rows) — the cheap path when only one
+        partition's data changed.
+        """
         estimator = self._estimators.get(table_name)
-        if estimator is not None:
-            if isinstance(estimator, StreamingEstimator):
-                # Apply any buffered inserts before refitting.  The streaming
-                # contract does not require fit() to rebuild from scratch
-                # (incremental implementations are legal), so half-applied
-                # inserts must never be left in the buffer across a refresh;
-                # and if fit() raises, the estimator is left in a fully
-                # flushed state rather than with silently pending rows.
-                estimator.flush()
-            estimator.fit(self.table(table_name), list(estimator.columns) or None)
+        if estimator is None:
+            if shard is not None:
+                raise CatalogError(
+                    f"table {table_name!r} has no synopsis to refresh a shard of"
+                )
+            return
+        if shard is not None:
+            from repro.shard.sharded import ShardedEstimator  # lazy: avoids a cycle
+
+            if not isinstance(estimator, ShardedEstimator):
+                raise CatalogError(
+                    f"synopsis of {table_name!r} is not sharded; refresh() "
+                    "without a shard id rebuilds it"
+                )
+            estimator.refit_shard(shard, self.table(table_name))
+            return
+        if isinstance(estimator, StreamingEstimator):
+            # Apply any buffered inserts before refitting.  The streaming
+            # contract does not require fit() to rebuild from scratch
+            # (incremental implementations are legal), so half-applied
+            # inserts must never be left in the buffer across a refresh;
+            # and if fit() raises, the estimator is left in a fully
+            # flushed state rather than with silently pending rows.
+            estimator.flush()
+        estimator.fit(self.table(table_name), list(estimator.columns) or None)
 
     # -- persistence -----------------------------------------------------------
     def save(self, store: "ModelStore", prefix: str = "") -> dict[str, int]:

@@ -18,6 +18,13 @@ experiment name::
 
     python -m repro.experiments --save-models models/ table1
     python -m repro.experiments --from-store models/ table1
+
+Sharded estimation: ``--shards N`` (optionally with ``--partitioner``)
+runs every accuracy-experiment estimator as an ``N``-shard partition-wise
+front end (experiments that exercise streaming/feedback-specific paths keep
+their monolithic estimators)::
+
+    python -m repro.experiments --shards 4 --partitioner range table1
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ import sys
 from contextlib import nullcontext
 from typing import Sequence
 
-from repro.experiments.runner import use_model_store
+from repro.experiments.runner import use_model_store, use_sharding
 from repro.experiments.suite import EXPERIMENTS, run_experiment
 from repro.persist.store import ModelStore
 
@@ -81,6 +88,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="restore published models from the store under DIR instead of refitting",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="run every accuracy-experiment estimator as an N-shard sharded "
+        "front end (partition-wise fit and estimation)",
+    )
+    parser.add_argument(
+        "--partitioner",
+        choices=["hash", "range", "round_robin"],
+        default="hash",
+        help="row-routing policy used with --shards (default: hash)",
+    )
+    parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="experiment id (table1..table4, fig1..fig8) or 'all'",
@@ -106,8 +126,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         else nullcontext()
     )
 
+    sharding = (
+        use_sharding(args.shards, args.partitioner) if args.shards else nullcontext()
+    )
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    with context:
+    with context, sharding:
         for name in names:
             result = run_experiment(name, **(overrides if args.experiment != "all" else {}))
             print(result.render())

@@ -37,6 +37,7 @@ __all__ = [
     "fit_or_restore",
     "run_accuracy_comparison",
     "use_model_store",
+    "use_sharding",
 ]
 
 
@@ -140,6 +141,42 @@ def use_model_store(
         _ACTIVE_STORE = previous
 
 
+#: Active sharding overlay set by :func:`use_sharding` (None = monolithic).
+_ACTIVE_SHARDING: tuple[int, str] | None = None
+
+
+@contextmanager
+def use_sharding(shards: int, partitioner: str = "hash") -> Iterator[None]:
+    """Run every experiment estimator as a sharded front end in this context.
+
+    Inside the context, :func:`fit_or_restore` wraps each spec's estimator in
+    a :class:`~repro.shard.sharded.ShardedEstimator` with the given shard
+    count and routing policy before fitting — this is what the experiment
+    CLI's ``--shards N --partitioner {hash,range}`` flags activate, so every
+    table/figure of the evaluation can be reproduced against the sharded
+    engine without touching the experiment code.
+    """
+    global _ACTIVE_SHARDING
+    previous = _ACTIVE_SHARDING
+    _ACTIVE_SHARDING = (int(shards), partitioner)
+    try:
+        yield
+    finally:
+        _ACTIVE_SHARDING = previous
+
+
+def _apply_sharding(estimator: SelectivityEstimator) -> SelectivityEstimator:
+    """Wrap an estimator per the active sharding overlay (identity outside)."""
+    if _ACTIVE_SHARDING is None:
+        return estimator
+    from repro.shard.sharded import ShardedEstimator  # lazy: avoids a cycle
+
+    if isinstance(estimator, ShardedEstimator):
+        return estimator
+    shards, partitioner = _ACTIVE_SHARDING
+    return ShardedEstimator(estimator, shards=shards, partitioner=partitioner)
+
+
 def _store_model_name(table_name: str, label: str, scope: str) -> str:
     raw = ".".join(part for part in (table_name, scope, label) if part)
     return re.sub(r"[^A-Za-z0-9._-]", "_", raw).lstrip("._-") or "model"
@@ -169,7 +206,7 @@ def fit_or_restore(
         else:
             if all(column in table for column in restored.columns):
                 return restored
-    estimator = spec.build()
+    estimator = _apply_sharding(spec.build())
     estimator.fit(table)
     if store is not None and save:
         store.publish(name, estimator)

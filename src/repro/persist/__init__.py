@@ -22,6 +22,12 @@ A snapshot is a ``numpy.savez`` archive written without pickle:
 * one ``a::<key>`` entry per state array of the estimator (bit-exact float64
   payloads, so a load reproduces ``estimate_batch`` output bitwise).
 
+Sharded models can additionally be persisted as a *manifest directory* —
+``manifest.json`` plus one self-contained snapshot file per shard — via
+:func:`~repro.persist.shards.save_sharded` / ``load_sharded``; see
+:mod:`repro.persist.shards` for the layout and why it coexists safely with a
+:class:`~repro.persist.store.ModelStore` directory tree.
+
 Format version policy
 ---------------------
 
@@ -41,6 +47,7 @@ into every header.
   ``_restore_state`` or trigger a format bump.
 """
 
+from repro.persist.shards import load_sharded, save_sharded
 from repro.persist.snapshot import (
     FORMAT_VERSION,
     load_estimator,
@@ -54,6 +61,8 @@ __all__ = [
     "save_estimator",
     "load_estimator",
     "read_snapshot_header",
+    "save_sharded",
+    "load_sharded",
     "ModelStore",
     "ModelVersion",
 ]

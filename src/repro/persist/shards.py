@@ -1,0 +1,146 @@
+"""Sharded-model manifests: one directory, one npz per shard.
+
+The single-file snapshot (:mod:`repro.persist.snapshot`) already round-trips
+a :class:`~repro.shard.sharded.ShardedEstimator` — every shard's arrays
+travel inside one archive, which is what :class:`~repro.persist.store.ModelStore`
+publishes.  The *manifest* layout persisted here is the operational
+alternative for large sharded models: each shard synopsis is written as an
+ordinary estimator snapshot file of its own, so shards can be copied,
+distributed and reloaded independently, and a per-shard refresh only rewrites
+one file.
+
+Layout of a manifest directory::
+
+    <dir>/manifest.json      versioned JSON header (see below)
+    <dir>/shard-0000.npz     standard estimator snapshot of shard 0
+    <dir>/shard-0001.npz     ... one per shard
+
+``manifest.json`` carries the snapshot format version, the front end's
+reconstruction config, the fitted envelope (columns, row count), the
+partitioner config/state (routing boundaries are JSON-encoded — they are a
+handful of floats, and Python's JSON floats round-trip float64 bitwise) and
+the shard file names.  The shard files are self-contained snapshots, so a
+partial reader can load any single shard with
+:func:`repro.persist.snapshot.load_estimator` without touching the manifest.
+
+A manifest directory is deliberately inert inside a
+:class:`~repro.persist.store.ModelStore` root or model directory: the store's
+version scans and prune only consider ``v<NNNNNNNN>.npz`` *files*, so the two
+layouts can share a directory tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.errors import PersistenceError
+from repro.persist.snapshot import FORMAT_VERSION, load_estimator, save_estimator
+from repro.shard.partition import make_partitioner
+from repro.shard.sharded import ShardedEstimator
+
+__all__ = ["save_sharded", "load_sharded", "MANIFEST_NAME"]
+
+#: File name of the manifest inside a sharded-model directory.
+MANIFEST_NAME = "manifest.json"
+
+
+def _shard_file(index: int) -> str:
+    return f"shard-{index:04d}.npz"
+
+
+def save_sharded(
+    estimator: ShardedEstimator, directory: str | os.PathLike[str]
+) -> Path:
+    """Write ``estimator`` as a manifest directory (see module docstring).
+
+    The manifest is written last, so a crashed save never leaves a directory
+    that parses as a complete model.  Returns the manifest path.
+    """
+    if not isinstance(estimator, ShardedEstimator):
+        raise PersistenceError(
+            f"save_sharded persists ShardedEstimator models, got "
+            f"{type(estimator).__name__} (use save_estimator instead)"
+        )
+    if not estimator.is_fitted:
+        raise PersistenceError("cannot write a manifest for an unfitted model")
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    shards = estimator.shard_estimators
+    for index, shard in enumerate(shards):
+        save_estimator(shard, target / _shard_file(index))
+    partitioner = estimator.partitioner
+    part_arrays, part_meta = partitioner.state()
+    frame = estimator._frame
+    manifest: dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "estimator": estimator.name,
+        "config": estimator._config_params(),
+        "columns": list(estimator.columns),
+        "row_count": int(estimator.row_count),
+        "shard_files": [_shard_file(i) for i in range(len(shards))],
+        "partitioner": {
+            "config": partitioner.config(),
+            "meta": part_meta,
+            "arrays": {k: np.asarray(v).tolist() for k, v in part_arrays.items()},
+        },
+        "frame": (
+            {k: np.asarray(v).tolist() for k, v in frame.items()}
+            if frame is not None
+            else None
+        ),
+    }
+    temp_path = target / f".{MANIFEST_NAME}.{os.getpid()}.tmp"
+    temp_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    manifest_path = target / MANIFEST_NAME
+    os.replace(temp_path, manifest_path)
+    return manifest_path
+
+
+def load_sharded(directory: str | os.PathLike[str]) -> ShardedEstimator:
+    """Rebuild the sharded model persisted at ``directory`` by :func:`save_sharded`."""
+    target = Path(directory)
+    manifest_path = target / MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except FileNotFoundError:
+        raise PersistenceError(
+            f"{target} is not a sharded-model directory (no {MANIFEST_NAME})"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise PersistenceError(f"{manifest_path} holds a corrupt manifest") from error
+    version = manifest.get("format")
+    if not isinstance(version, int) or version < 1:
+        raise PersistenceError(f"{manifest_path} has an invalid format marker")
+    if version > FORMAT_VERSION:
+        raise PersistenceError(
+            f"{manifest_path} uses snapshot format {version}, but this build "
+            f"reads only up to format {FORMAT_VERSION}"
+        )
+    config = manifest.get("config", {})
+    front = ShardedEstimator(**config)
+    shards = []
+    for name in manifest.get("shard_files", []):
+        shard_path = target / name
+        if not shard_path.is_file():
+            raise PersistenceError(f"manifest references missing shard file {name!r}")
+        shards.append(load_estimator(shard_path))
+    part = manifest.get("partitioner") or {}
+    partitioner = make_partitioner(part.get("config", "hash"), front.shard_count)
+    partitioner.load_state(
+        {k: np.asarray(v, dtype=float) for k, v in part.get("arrays", {}).items()},
+        part.get("meta", {}),
+    )
+    frame = manifest.get("frame")
+    return front.adopt(
+        shards,
+        partitioner,
+        None
+        if frame is None
+        else {k: np.asarray(v, dtype=float) for k, v in frame.items()},
+        row_count=manifest.get("row_count"),
+    )

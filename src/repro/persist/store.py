@@ -85,12 +85,20 @@ class ModelStore:
 
     @staticmethod
     def _scan_versions(model_dir: Path) -> list[int]:
+        """Version numbers of the snapshot *files* in a model directory.
+
+        Foreign entries are ignored: files that do not match the version
+        pattern, and — crucially — directories even when their name does
+        (a sharded-model manifest directory, a backup folder); treating a
+        directory as a snapshot would corrupt ``LATEST`` resolution and make
+        ``prune`` attempt to unlink it.
+        """
         if not model_dir.is_dir():
             return []
         found = []
         for entry in model_dir.iterdir():
             match = _VERSION_PATTERN.match(entry.name)
-            if match:
+            if match and entry.is_file():
                 found.append(int(match.group(1)))
         return sorted(found)
 
@@ -209,6 +217,15 @@ class ModelStore:
             raise PersistenceError("keep_versions must be at least 1")
         versions = self.versions(name)
         doomed = versions[:-keep_versions] if len(versions) > keep_versions else []
+        removed = []
         for version in doomed:
-            self._version_path(name, version).unlink(missing_ok=True)
-        return doomed
+            path = self._version_path(name, version)
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                # A foreign entry squatting on a version name (e.g. a
+                # directory) is not ours to delete; skip it rather than
+                # failing the publish that triggered the prune.
+                continue
+            removed.append(version)
+        return removed

@@ -41,6 +41,7 @@ from repro.workload.queries import CompiledQueries, RangeQuery, compile_queries
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
     from repro.persist.store import ModelStore
+    from repro.shard.sharded import ShardedEstimator
 
 __all__ = ["EstimatorServer", "ServerCacheInfo"]
 
@@ -104,6 +105,11 @@ class EstimatorServer:
         # old model with the new generation (or vice versa).
         self._current: tuple[int, SelectivityEstimator] = (1, estimator)
         self._lock = threading.Lock()
+        # Serialises per-shard read-modify-write publishers (publish_shard):
+        # two writers refreshing *different* shards must not lose each
+        # other's swap.  Whole-model checkout()/publish() keeps the original
+        # single-logical-writer protocol.
+        self._swap_lock = threading.Lock()
         self._cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -134,6 +140,40 @@ class EstimatorServer:
                 max_size=self.cache_size,
                 generation=self._current[0],
             )
+
+    def stats(self) -> dict:
+        """Serving introspection as one consistent, JSON-serialisable dict.
+
+        Returns the cache counters (``hits`` / ``misses`` / ``hit_rate``),
+        the number of cached plans and the cache capacity, the current
+        generation, the served model's registry name, and — when the served
+        model is sharded — the shard count and per-shard row counts.  This is
+        the monitoring/benchmark endpoint; :meth:`cache_info` remains the
+        typed cache-only view.
+        """
+        from repro.shard.sharded import ShardedEstimator  # lazy: avoids a cycle
+
+        with self._lock:
+            generation, model = self._current
+            info = {
+                "generation": generation,
+                "model": model.name,
+                "columns": list(model.columns),
+                "rows_modelled": model.row_count,
+                "cache_hits": self._hits,
+                "cache_misses": self._misses,
+                "hit_rate": (
+                    self._hits / (self._hits + self._misses)
+                    if (self._hits + self._misses)
+                    else 0.0
+                ),
+                "cached_plans": len(self._cache),
+                "cache_capacity": self.cache_size,
+            }
+        if isinstance(model, ShardedEstimator):
+            info["shards"] = model.shard_count
+            info["shard_rows"] = [int(n) for n in model.shard_row_counts()]
+        return info
 
     # -- serving ---------------------------------------------------------------
     @staticmethod
@@ -239,6 +279,42 @@ class EstimatorServer:
         if self.store is not None and self.model_name:
             self.store.publish(self.model_name, model)
         return generation
+
+    # -- per-shard updates (sharded models) ------------------------------------
+    def _require_sharded(self) -> "ShardedEstimator":
+        from repro.shard.sharded import ShardedEstimator  # lazy: avoids a cycle
+
+        model = self._current[1]
+        if not isinstance(model, ShardedEstimator):
+            raise InvalidParameterError(
+                "the served model is not sharded; use checkout()/publish()"
+            )
+        return model
+
+    def checkout_shard(self, shard_id: int) -> SelectivityEstimator:
+        """Private deep copy of one shard's synopsis of the served model.
+
+        The per-shard analogue of :meth:`checkout`: only the one shard is
+        copied, so refreshing a single partition behind a large sharded model
+        costs O(shard), not O(model).
+        """
+        return self._require_sharded().checkout_shard(shard_id)
+
+    def publish_shard(self, shard_id: int, shard_model: SelectivityEstimator) -> int:
+        """Swap one shard of the served sharded model (atomic, new generation).
+
+        Builds a copy-on-write front end sharing every other shard with the
+        currently served model
+        (:meth:`~repro.shard.sharded.ShardedEstimator.with_shard`) and
+        publishes it: the generation bumps and stale cache entries are
+        evicted exactly as for a whole-model publish, while the untouched
+        shard synopses are shared, not copied.  Returns the new generation.
+        """
+        if isinstance(shard_model, StreamingEstimator):
+            shard_model.flush()
+        with self._swap_lock:
+            sharded = self._require_sharded()
+            return self.publish(sharded.with_shard(shard_id, shard_model))
 
     # alias: "swap" is the wire-level name used in the design discussion
     swap = publish

@@ -1,0 +1,397 @@
+"""Row partitioners: deterministic routing of rows to shards.
+
+A :class:`Partitioner` maps a ``(rows, d)`` matrix of partition-column values
+to a ``(rows,)`` vector of shard ids.  The routing contract is the foundation
+of the sharded estimation engine:
+
+* **Deterministic** — the same rows always route to the same shards, so a
+  refit of one shard sees exactly the rows that shard's synopsis models.
+* **Batch-invariant** — routing a bulk ``insert`` produces bitwise the same
+  shard contents as routing the rows one at a time.  Hash and range routing
+  are pure functions of the row values, so this holds trivially; round-robin
+  routing keeps an explicit stream position so a batch of ``n`` rows consumes
+  exactly ``n`` ticks of the counter, matching the row-at-a-time sequence.
+* **Stable under growth** — hash and range routing never re-route existing
+  rows when new rows arrive (range boundaries are frozen when first bound to
+  data), which is what makes per-shard refresh sound.
+
+Partitioners are persisted alongside a sharded synopsis: :meth:`config`
+returns the JSON recipe and :meth:`state` / :meth:`load_state` the runtime
+state (frozen range boundaries, the round-robin stream position).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.engine.table import Table
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "RoundRobinPartitioner",
+    "make_partitioner",
+    "partition_table",
+    "PARTITIONER_KINDS",
+]
+
+
+class Partitioner(ABC):
+    """Routes rows (matrices of the bound partition columns) to shard ids."""
+
+    #: registry kind; subclasses override.
+    kind: str = "partitioner"
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise InvalidParameterError("a partitioner needs at least one shard")
+        self.shards = int(shards)
+        self._columns: tuple[str, ...] = ()
+
+    # -- binding ---------------------------------------------------------------
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Partition columns the router consumes (set by :meth:`bind`)."""
+        return self._columns
+
+    @property
+    def is_bound(self) -> bool:
+        """Whether the partitioner has been bound to columns (and data)."""
+        return bool(self._columns)
+
+    def bind(self, columns: Sequence[str], table: Table | None = None) -> "Partitioner":
+        """Bind the router to its partition columns (idempotent).
+
+        ``table`` provides the data a router may need to freeze its layout
+        (range boundaries); once bound, the layout never changes, so routing
+        stays stable while the table grows.
+        """
+        if self._columns:
+            return self
+        columns = tuple(columns)
+        if not columns:
+            raise InvalidParameterError("a partitioner needs at least one column")
+        self._columns = columns
+        self._bind_data(table)
+        return self
+
+    def _bind_data(self, table: Table | None) -> None:
+        """Hook for routers that freeze layout from data (default: nothing)."""
+
+    def _require_bound(self) -> None:
+        if not self._columns:
+            raise InvalidParameterError(
+                f"{type(self).__name__} must be bound to columns before routing"
+            )
+
+    # -- routing ---------------------------------------------------------------
+    def assign(self, rows: np.ndarray) -> np.ndarray:
+        """Shard id of every row of a ``(rows, len(columns))`` matrix."""
+        self._require_bound()
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        if rows.shape[0] and rows.shape[1] != len(self._columns):
+            raise InvalidParameterError(
+                f"rows have {rows.shape[1]} partition columns, expected "
+                f"{len(self._columns)}"
+            )
+        if rows.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        return self._assign(rows)
+
+    @abstractmethod
+    def _assign(self, rows: np.ndarray) -> np.ndarray:
+        """Routing of a validated, non-empty ``(n, d)`` matrix."""
+
+    def assign_static(self, rows: np.ndarray) -> np.ndarray:
+        """Shard ids of a whole table's rows, without advancing any state.
+
+        Value-based routers (hash, range) are pure functions, so this equals
+        :meth:`assign`; positional routers (round-robin) route row ``t`` of
+        the table as stream position ``t`` — reproducing the assignment a
+        fresh fit would compute — while leaving the live stream counter
+        untouched.  This is the routing a per-shard *refit* must use:
+        re-deriving one partition of the current table is a read, not a
+        stream advance.
+        """
+        self._require_bound()
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        if rows.shape[0] and rows.shape[1] != len(self._columns):
+            raise InvalidParameterError(
+                f"rows have {rows.shape[1]} partition columns, expected "
+                f"{len(self._columns)}"
+            )
+        if rows.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        return self._assign_static(rows)
+
+    def _assign_static(self, rows: np.ndarray) -> np.ndarray:
+        """State-free routing hook (defaults to :meth:`_assign` — pure routers)."""
+        return self._assign(rows)
+
+    # -- persistence -----------------------------------------------------------
+    def config(self) -> dict[str, Any]:
+        """JSON reconstruction recipe (``{"kind": ..., "shards": ...}``)."""
+        return {"kind": self.kind, "shards": self.shards}
+
+    def state(self) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+        """Runtime state as ``(arrays, meta)`` — mirrors the estimator hooks."""
+        return {}, {"columns": list(self._columns)}
+
+    def load_state(
+        self, arrays: Mapping[str, np.ndarray], meta: Mapping[str, Any]
+    ) -> None:
+        """Restore a :meth:`state` snapshot."""
+        self._columns = tuple(meta.get("columns", ()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(shards={self.shards}, columns={list(self._columns)})"
+
+
+# -- hash ----------------------------------------------------------------------
+
+#: splitmix64 multipliers (Steele et al.); arithmetic wraps modulo 2**64.
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over a ``uint64`` array."""
+    values = (values ^ (values >> np.uint64(30))) * _MIX_1
+    values = (values ^ (values >> np.uint64(27))) * _MIX_2
+    return values ^ (values >> np.uint64(31))
+
+
+class HashPartitioner(Partitioner):
+    """Value-hash routing over all bound partition columns.
+
+    Rows route by a splitmix64 hash of their float64 bit patterns (with
+    ``-0.0`` canonicalised to ``0.0``), combined across columns — a pure
+    function of the row values, so routing is deterministic, batch-invariant
+    and stable as the table grows.
+    """
+
+    kind = "hash"
+
+    def __init__(self, shards: int, seed: int = 0) -> None:
+        super().__init__(shards)
+        self.seed = int(seed)
+
+    def _assign(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.where(rows == 0.0, 0.0, rows)  # -0.0 == 0.0 must route together
+        bits = np.ascontiguousarray(rows, dtype=np.float64).view(np.uint64)
+        with np.errstate(over="ignore"):
+            acc = np.full(rows.shape[0], np.uint64(self.seed) ^ _GOLDEN)
+            for d in range(bits.shape[1]):
+                acc = _splitmix64(acc + _GOLDEN * np.uint64(d + 1) + bits[:, d])
+        return (acc % np.uint64(self.shards)).astype(np.int64)
+
+    def config(self) -> dict[str, Any]:
+        return {**super().config(), "seed": self.seed}
+
+
+# -- range ---------------------------------------------------------------------
+
+
+class RangePartitioner(Partitioner):
+    """Range routing on one column with frozen boundaries.
+
+    ``boundaries`` are the ``shards - 1`` interior split points; when not
+    given they are computed once — from the quantiles of the bind-time table —
+    and frozen, so later inserts never re-route existing rows.  Rows route to
+    the shard whose half-open range ``(boundary[i-1], boundary[i]]`` contains
+    the value of the partition column (the first bound column by default).
+    """
+
+    kind = "range"
+
+    def __init__(
+        self,
+        shards: int,
+        column: str | None = None,
+        boundaries: Sequence[float] | None = None,
+    ) -> None:
+        super().__init__(shards)
+        self.column = column
+        self._boundaries: np.ndarray | None = None
+        if boundaries is not None:
+            self._set_boundaries(np.asarray(boundaries, dtype=float))
+
+    def _set_boundaries(self, boundaries: np.ndarray) -> None:
+        boundaries = np.asarray(boundaries, dtype=float).ravel()
+        if boundaries.size != self.shards - 1:
+            raise InvalidParameterError(
+                f"{self.shards}-shard range routing needs {self.shards - 1} "
+                f"boundaries, got {boundaries.size}"
+            )
+        if np.any(np.diff(boundaries) < 0):
+            raise InvalidParameterError("range boundaries must be non-decreasing")
+        self._boundaries = boundaries
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """Frozen interior split points (copy)."""
+        self._require_bound()
+        assert self._boundaries is not None
+        return self._boundaries.copy()
+
+    def _bind_data(self, table: Table | None) -> None:
+        if self.column is None:
+            self.column = self._columns[0]
+        if self.column not in self._columns:
+            raise InvalidParameterError(
+                f"range column {self.column!r} is not a partition column "
+                f"{list(self._columns)}"
+            )
+        if self._boundaries is None:
+            if table is None:
+                raise InvalidParameterError(
+                    "a RangePartitioner without explicit boundaries must be "
+                    "bound with a table to derive them from"
+                )
+            values = np.asarray(table.column(self.column), dtype=float)
+            if values.size == 0:
+                boundaries = np.zeros(self.shards - 1)
+            else:
+                quantiles = np.linspace(0.0, 100.0, self.shards + 1)[1:-1]
+                boundaries = np.percentile(values, quantiles)
+            self._set_boundaries(np.maximum.accumulate(np.atleast_1d(boundaries)))
+
+    def _assign(self, rows: np.ndarray) -> np.ndarray:
+        assert self._boundaries is not None
+        index = self._columns.index(self.column)
+        return np.searchsorted(self._boundaries, rows[:, index], side="left").astype(
+            np.int64
+        )
+
+    def config(self) -> dict[str, Any]:
+        return {**super().config(), "column": self.column}
+
+    def state(self) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+        arrays, meta = super().state()
+        if self._boundaries is not None:
+            arrays["boundaries"] = self._boundaries
+        return arrays, meta
+
+    def load_state(self, arrays, meta) -> None:
+        super().load_state(arrays, meta)
+        if "boundaries" in arrays:
+            self._set_boundaries(np.asarray(arrays["boundaries"], dtype=float))
+
+
+# -- round-robin -----------------------------------------------------------------
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Stream-position routing: row ``t`` goes to shard ``t % shards``.
+
+    The position counter advances by the batch size, so a bulk insert routes
+    bitwise like the same rows inserted one at a time.  Routing ignores the
+    row values entirely — it balances load perfectly but supports no
+    value-based shard pruning.
+    """
+
+    kind = "round_robin"
+
+    def __init__(self, shards: int) -> None:
+        super().__init__(shards)
+        self._position = 0
+
+    @property
+    def position(self) -> int:
+        """Total number of rows routed so far."""
+        return self._position
+
+    def _assign(self, rows: np.ndarray) -> np.ndarray:
+        ids = (self._position + np.arange(rows.shape[0], dtype=np.int64)) % self.shards
+        self._position += rows.shape[0]
+        return ids
+
+    def _assign_static(self, rows: np.ndarray) -> np.ndarray:
+        # Table row t is stream position t; the live counter is not consumed.
+        return np.arange(rows.shape[0], dtype=np.int64) % self.shards
+
+    def state(self) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+        arrays, meta = super().state()
+        return arrays, {**meta, "position": int(self._position)}
+
+    def load_state(self, arrays, meta) -> None:
+        super().load_state(arrays, meta)
+        self._position = int(meta.get("position", 0))
+
+
+# -- factory & helpers -----------------------------------------------------------
+
+PARTITIONER_KINDS: dict[str, type[Partitioner]] = {
+    "hash": HashPartitioner,
+    "range": RangePartitioner,
+    "round_robin": RoundRobinPartitioner,
+}
+
+
+def make_partitioner(
+    spec: "str | Mapping[str, Any] | Partitioner", shards: int
+) -> Partitioner:
+    """Build a partitioner from a kind name, a config mapping or an instance.
+
+    An instance is passed through (its shard count must match); a mapping is
+    ``{"kind": ..., **params}`` as produced by :meth:`Partitioner.config`.
+    """
+    if isinstance(spec, Partitioner):
+        if spec.shards != shards:
+            raise InvalidParameterError(
+                f"partitioner routes to {spec.shards} shards, expected {shards}"
+            )
+        return spec
+    if isinstance(spec, str):
+        params: dict[str, Any] = {}
+        kind = spec
+    elif isinstance(spec, Mapping):
+        params = {k: v for k, v in spec.items() if k not in ("kind", "shards")}
+        kind = str(spec.get("kind", "hash"))
+    else:
+        raise InvalidParameterError(
+            f"partitioner spec must be a kind name, config mapping or instance, "
+            f"got {type(spec).__name__}"
+        )
+    try:
+        factory = PARTITIONER_KINDS[kind]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown partitioner kind {kind!r}; available: {sorted(PARTITIONER_KINDS)}"
+        ) from None
+    return factory(shards, **params)
+
+
+def partition_table(
+    table: Table,
+    partitioner: Partitioner,
+    columns: Sequence[str] | None = None,
+) -> list[Table]:
+    """Split ``table`` into one sub-table per shard (all columns retained).
+
+    ``columns`` are the partition columns the router consumes (default: the
+    router's bound columns, else all table columns); the partitioner is bound
+    on first use.  Every row lands in exactly one shard; shard sub-tables are
+    named ``<table>::shard<i>``.
+    """
+    if columns is not None:
+        partitioner.bind(columns, table)
+    elif not partitioner.is_bound:
+        partitioner.bind(table.column_names, table)
+    assignment = partitioner.assign(table.columns(list(partitioner.columns)))
+    shards: list[Table] = []
+    for shard_id in range(partitioner.shards):
+        mask = assignment == shard_id
+        shards.append(
+            Table(
+                f"{table.name}::shard{shard_id}",
+                {name: table.column(name)[mask] for name in table.column_names},
+            )
+        )
+    return shards

@@ -94,3 +94,125 @@ class TestOptimizer:
         filtered_cost = optimizer.best_plan(spec, use_estimates=False).true_cost
         unfiltered_cost = optimizer.best_plan(unfiltered, use_estimates=False).true_cost
         assert filtered_cost < unfiltered_cost
+
+
+class TestPlanRegretEdgeCases:
+    """Satellite coverage: plan_regret on the smallest joins, tied costs and
+    the default join-selectivity fallback."""
+
+    @pytest.fixture()
+    def two_table_catalog(self) -> Catalog:
+        catalog = Catalog()
+        catalog.add_table(
+            uniform_table(10_000, dimensions=1, seed=21, name="big", column_names=["x"])
+        )
+        catalog.add_table(
+            uniform_table(500, dimensions=1, seed=22, name="small", column_names=["y"])
+        )
+        return catalog
+
+    def test_two_table_join_both_orders_enumerated(self, two_table_catalog) -> None:
+        spec = JoinSpec(
+            tables=("big", "small"),
+            filters={},
+            join_selectivities={frozenset(("big", "small")): 1e-3},
+        )
+        plans = Optimizer(two_table_catalog).enumerate_plans(spec)
+        assert len(plans) == 2
+        # A two-way left-deep join has one intermediate (the result): both
+        # orders cost the same, and regret is exactly 1.
+        assert plans[0].true_cost == pytest.approx(plans[1].true_cost)
+        assert plan_regret(Optimizer(two_table_catalog), spec) == pytest.approx(1.0)
+
+    def test_two_table_regret_is_one_even_with_bad_estimates(
+        self, two_table_catalog
+    ) -> None:
+        # With two tables the plan space is symmetric in true cost: even the
+        # worst estimator cannot pick a worse-than-optimal join order.
+        for name in two_table_catalog.table_names():
+            two_table_catalog.attach_estimator(name, IndependenceEstimator("normal"))
+        spec = JoinSpec(
+            tables=("big", "small"),
+            filters={
+                "big": RangeQuery({"x": (0.0, 0.2)}),
+                "small": RangeQuery({"y": (0.5, 1.0)}),
+            },
+            join_selectivities={frozenset(("big", "small")): 1e-3},
+        )
+        assert plan_regret(Optimizer(two_table_catalog), spec) == pytest.approx(1.0)
+
+    def test_tied_costs_give_unit_regret(self) -> None:
+        # Identical tables and symmetric join selectivities: every order has
+        # the same true cost, min() tie-breaks arbitrarily, regret must be 1.
+        catalog = Catalog()
+        for name in ("a", "b", "c"):
+            catalog.add_table(
+                uniform_table(1000, dimensions=1, seed=7, name=name, column_names=["v"])
+            )
+        spec = JoinSpec(
+            tables=("a", "b", "c"),
+            filters={},
+            join_selectivities={},
+            default_join_selectivity=0.01,
+        )
+        optimizer = Optimizer(catalog)
+        plans = optimizer.enumerate_plans(spec)
+        costs = {round(plan.true_cost, 6) for plan in plans}
+        assert len(costs) == 1
+        assert plan_regret(optimizer, spec) == pytest.approx(1.0)
+
+    def test_missing_pair_falls_back_to_default_selectivity(
+        self, two_table_catalog
+    ) -> None:
+        # No explicit entry for the pair: the default selectivity applies.
+        spec = JoinSpec(
+            tables=("big", "small"),
+            filters={},
+            join_selectivities={},
+            default_join_selectivity=0.5,
+        )
+        plan = Optimizer(two_table_catalog).best_plan(spec, use_estimates=False)
+        assert plan.true_cost == pytest.approx(10_000 * 500 * 0.5)
+        # An explicit entry overrides the default for that pair only.
+        overridden = JoinSpec(
+            tables=("big", "small"),
+            filters={},
+            join_selectivities={frozenset(("big", "small")): 0.25},
+            default_join_selectivity=0.5,
+        )
+        plan = Optimizer(two_table_catalog).best_plan(overridden, use_estimates=False)
+        assert plan.true_cost == pytest.approx(10_000 * 500 * 0.25)
+
+    def test_zero_true_cost_defines_unit_regret(self) -> None:
+        # A filter selecting nothing makes every plan cost 0; the regret
+        # ratio would be 0/0 and is defined as 1.
+        catalog = Catalog()
+        for name in ("a", "b"):
+            catalog.add_table(
+                uniform_table(100, dimensions=1, seed=8, name=name, column_names=["v"])
+            )
+        spec = JoinSpec(
+            tables=("a", "b"),
+            filters={"a": RangeQuery({"v": (99.0, 100.0)})},
+            join_selectivities={},
+        )
+        assert plan_regret(Optimizer(catalog), spec) == pytest.approx(1.0)
+
+    def test_adversarial_estimates_realise_regret_above_one(
+        self, star_catalog, spec
+    ) -> None:
+        # The metric must actually separate good from bad estimates: an
+        # adversarially inverted estimator picks a provably wrong join order
+        # on this star query (regret ≈ 4.1), so regret > 1 strictly.
+        class Opposite(IndependenceEstimator):
+            def _estimate_batch(self, lows, highs):
+                return 1.0 - super()._estimate_batch(lows, highs)
+
+        for table_name in star_catalog.table_names():
+            star_catalog.attach_estimator(table_name, Opposite())
+        optimizer = Optimizer(star_catalog)
+        assert (
+            optimizer.best_plan(spec, use_estimates=True).order
+            != optimizer.best_plan(spec, use_estimates=False).order
+        )
+        assert plan_regret(optimizer, spec) > 1.0

@@ -244,3 +244,58 @@ class TestCatalogPersistence:
         # pending rows were folded in, not torn down with the old model.
         assert flushes and flushes[0] == pending
         assert estimator.row_count == table.row_count
+
+
+class TestForeignEntriesTolerance:
+    """Regression: foreign files/directories in the store tree (a sharded
+    manifest directory, stray notes, backups) must not break version scans,
+    LATEST resolution or prune."""
+
+    def test_foreign_files_in_root_and_model_dir_ignored(self, store, fitted) -> None:
+        store.publish("m", fitted)
+        (store.root / "README.md").write_text("not a model\n")
+        (store.root / "m" / "notes.txt").write_text("scratch\n")
+        (store.root / "m" / "v1.npz.bak").write_bytes(b"junk")
+        assert store.model_names() == ["m"]
+        assert store.versions("m") == [1]
+        assert store.latest_version("m") == 1
+
+    def test_directory_squatting_on_a_version_name(self, store, fitted) -> None:
+        """A *directory* named like a snapshot file must be ignored, not
+        treated as a version (loading/pruning it would fail)."""
+        store.publish("m", fitted)
+        squatter = store.root / "m" / "v00000002.npz"
+        squatter.mkdir()
+        (squatter / "part.npz").write_bytes(b"x")
+        assert store.versions("m") == [1]
+        assert store.latest_version("m") == 1
+        # Publishing routes around the squatter (os.link refuses the slot).
+        version = store.publish("m", fitted)
+        assert version.version >= 2
+        assert version.path.is_file()
+        loaded = store.load("m")
+        assert loaded.is_fitted
+
+    def test_prune_skips_foreign_directories(self, store, fitted) -> None:
+        store.publish("m", fitted)
+        store.publish("m", fitted)
+        squatter = store.root / "m" / "v00000099.npz"
+        squatter.mkdir()
+        (squatter / "inner").write_bytes(b"x")
+        removed = store.prune("m", keep_versions=1)
+        assert removed == [1]
+        assert squatter.is_dir()  # never deleted, never crashed the prune
+        assert store.versions("m") == [2]
+
+    def test_manifest_directory_beside_models(self, store, fitted, tmp_path) -> None:
+        from repro.persist.shards import save_sharded
+        from repro.shard.sharded import ShardedEstimator
+
+        table = uniform_table(rows=1500, dimensions=1, seed=9, name="u")
+        sharded = ShardedEstimator("equiwidth", shards=2).fit(table)
+        store.publish("m", fitted)
+        save_sharded(sharded, store.root / "sharded-manifest")
+        save_sharded(sharded, store.root / "m" / "sharded-manifest")
+        assert store.model_names() == ["m"]
+        assert store.versions("m") == [1]
+        assert store.load("m").is_fitted

@@ -234,3 +234,45 @@ class TestIngestWhileServe:
             np.testing.assert_array_equal(served, fresh_model)
             np.testing.assert_array_equal(served_again, fresh_model)
             assert not np.array_equal(served, baseline)
+
+
+class TestServerStats:
+    """The monitoring endpoint: one consistent, JSON-serialisable dict."""
+
+    def test_counters_and_identity(self, server, plan) -> None:
+        import json
+
+        server.estimate_batch(plan)   # miss
+        server.estimate_batch(plan)   # hit
+        server.estimate_batch(plan)   # hit
+        stats = server.stats()
+        assert stats["cache_hits"] == 2
+        assert stats["cache_misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+        assert stats["cached_plans"] == 1
+        assert stats["cache_capacity"] == 16
+        assert stats["generation"] == 1
+        assert stats["model"] == "streaming_ade"
+        assert stats["columns"] == ["x0", "x1"]
+        json.dumps(stats)  # must be pure JSON for monitoring pipelines
+
+    def test_generation_tracks_publishes(self, server, plan) -> None:
+        server.estimate_batch(plan)
+        fresh = server.checkout()
+        server.publish(fresh)
+        stats = server.stats()
+        assert stats["generation"] == 2
+        assert stats["cached_plans"] == 0  # publish invalidated the cache
+
+    def test_sharded_model_reports_shards(self, table, plan) -> None:
+        from repro.shard.sharded import ShardedEstimator
+
+        sharded = ShardedEstimator("equiwidth", shards=3).fit(table)
+        server = EstimatorServer(sharded, cache_size=4)
+        stats = server.stats()
+        assert stats["shards"] == 3
+        assert sum(stats["shard_rows"]) == table.row_count
+        assert stats["rows_modelled"] == table.row_count
+
+    def test_zero_traffic_hit_rate(self, server) -> None:
+        assert server.stats()["hit_rate"] == 0.0

@@ -1,0 +1,223 @@
+"""Partitioner routing contract: deterministic, total, batch-invariant.
+
+The hypothesis-driven classes pin the satellite guarantee that routing a
+bulk ``insert`` produces bitwise the same shard contents as routing the rows
+one at a time — for every partitioner kind, over arbitrary batch slicings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.engine.table import Table
+from repro.shard.partition import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    RoundRobinPartitioner,
+    make_partitioner,
+    partition_table,
+)
+
+COLUMNS = ["x0", "x1"]
+
+
+def _rows(n: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(n, len(COLUMNS)))
+
+
+def _bound(partitioner: Partitioner, data: np.ndarray | None = None) -> Partitioner:
+    table = (
+        Table.from_array("t", data if data is not None else _rows(200), COLUMNS)
+    )
+    return partitioner.bind(COLUMNS, table)
+
+
+PARTITIONER_FACTORIES = {
+    "hash": lambda shards: HashPartitioner(shards),
+    "range": lambda shards: RangePartitioner(shards),
+    "round_robin": lambda shards: RoundRobinPartitioner(shards),
+}
+
+
+@pytest.mark.parametrize("kind", sorted(PARTITIONER_FACTORIES))
+class TestRoutingContract:
+    def test_every_row_routes_to_a_valid_shard(self, kind: str) -> None:
+        partitioner = _bound(PARTITIONER_FACTORIES[kind](4))
+        assignment = partitioner.assign(_rows(500, seed=1))
+        assert assignment.shape == (500,)
+        assert assignment.dtype == np.int64
+        assert assignment.min() >= 0 and assignment.max() < 4
+
+    def test_value_routing_is_deterministic(self, kind: str) -> None:
+        rows = _rows(300, seed=2)
+        first = _bound(PARTITIONER_FACTORIES[kind](4))
+        second = _bound(PARTITIONER_FACTORIES[kind](4))
+        np.testing.assert_array_equal(first.assign(rows), second.assign(rows))
+
+    def test_empty_batch_is_a_noop(self, kind: str) -> None:
+        partitioner = _bound(PARTITIONER_FACTORIES[kind](4))
+        assert partitioner.assign(np.empty((0, 2))).shape == (0,)
+
+    def test_single_shard_routes_everything_to_zero(self, kind: str) -> None:
+        partitioner = _bound(PARTITIONER_FACTORIES[kind](1))
+        assert not partitioner.assign(_rows(100)).any()
+
+    def test_partition_table_is_a_disjoint_cover(self, kind: str) -> None:
+        data = _rows(400, seed=3)
+        table = Table.from_array("t", data, COLUMNS)
+        shards = partition_table(table, PARTITIONER_FACTORIES[kind](4), COLUMNS)
+        assert len(shards) == 4
+        assert sum(s.row_count for s in shards) == table.row_count
+        recombined = np.concatenate([s.as_matrix() for s in shards])
+        # Every original row appears exactly once across the shards.
+        original = sorted(map(tuple, data))
+        assert sorted(map(tuple, recombined)) == original
+
+    def test_state_roundtrip(self, kind: str) -> None:
+        partitioner = _bound(PARTITIONER_FACTORIES[kind](4))
+        rows = _rows(50, seed=4)
+        partitioner.assign(rows)  # advances round-robin position
+        arrays, meta = partitioner.state()
+        clone = make_partitioner(partitioner.config(), 4)
+        clone.load_state(arrays, meta)
+        np.testing.assert_array_equal(
+            clone.assign(_rows(50, seed=5)), partitioner.assign(_rows(50, seed=5))
+        )
+
+
+class TestHashPartitioner:
+    def test_negative_zero_routes_with_positive_zero(self) -> None:
+        partitioner = _bound(HashPartitioner(8))
+        plus = partitioner.assign(np.array([[0.0, 1.0]]))
+        minus = partitioner.assign(np.array([[-0.0, 1.0]]))
+        assert plus[0] == minus[0]
+
+    def test_roughly_balanced(self) -> None:
+        partitioner = _bound(HashPartitioner(4))
+        assignment = partitioner.assign(_rows(8000, seed=6))
+        counts = np.bincount(assignment, minlength=4)
+        assert counts.min() > 8000 / 4 * 0.8
+
+    def test_seed_changes_routing(self) -> None:
+        rows = _rows(200, seed=7)
+        a = _bound(HashPartitioner(4, seed=0)).assign(rows)
+        b = _bound(HashPartitioner(4, seed=1)).assign(rows)
+        assert not np.array_equal(a, b)
+
+
+class TestRangePartitioner:
+    def test_boundaries_frozen_at_bind_time(self) -> None:
+        data = _rows(300, seed=8)
+        partitioner = _bound(RangePartitioner(3), data)
+        before = partitioner.boundaries
+        # New, very different rows must not re-derive the layout.
+        partitioner.assign(_rows(300, seed=9) * 100.0)
+        np.testing.assert_array_equal(partitioner.boundaries, before)
+
+    def test_quantile_boundaries_balance_the_bind_table(self) -> None:
+        data = _rows(900, seed=10)
+        partitioner = _bound(RangePartitioner(3), data)
+        counts = np.bincount(partitioner.assign(data), minlength=3)
+        assert counts.min() >= 250  # ~300 each from tercile boundaries
+
+    def test_explicit_boundaries_and_column(self) -> None:
+        partitioner = RangePartitioner(3, column="x1", boundaries=[-1.0, 1.0])
+        partitioner.bind(COLUMNS)
+        assignment = partitioner.assign(
+            np.array([[9.0, -5.0], [9.0, 0.0], [9.0, 5.0]])
+        )
+        np.testing.assert_array_equal(assignment, [0, 1, 2])
+
+    def test_wrong_boundary_count_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            RangePartitioner(3, boundaries=[0.0])
+
+    def test_unbound_without_table_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            RangePartitioner(3).bind(COLUMNS)
+
+
+class TestRoundRobin:
+    def test_position_advances_by_batch_size(self) -> None:
+        partitioner = _bound(RoundRobinPartitioner(3))
+        np.testing.assert_array_equal(partitioner.assign(_rows(4)), [0, 1, 2, 0])
+        np.testing.assert_array_equal(partitioner.assign(_rows(2)), [1, 2])
+        assert partitioner.position == 6
+
+
+class TestFactory:
+    def test_kind_names_and_configs(self) -> None:
+        for spec in ("hash", {"kind": "range", "column": "x0"}, "round_robin"):
+            partitioner = make_partitioner(spec, 4)
+            assert partitioner.shards == 4
+
+    def test_instance_passthrough_checks_shards(self) -> None:
+        instance = HashPartitioner(4)
+        assert make_partitioner(instance, 4) is instance
+        with pytest.raises(InvalidParameterError):
+            make_partitioner(instance, 8)
+
+    def test_unknown_kind_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            make_partitioner("zebra", 4)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: bulk routing == row-at-a-time routing (bitwise shard contents)
+# ---------------------------------------------------------------------------
+
+
+def _route_in_slices(
+    partitioner: Partitioner, rows: np.ndarray, sizes: list[int]
+) -> list[np.ndarray]:
+    """Shard contents after feeding ``rows`` in the given batch slicing."""
+    shards: list[list[np.ndarray]] = [[] for _ in range(partitioner.shards)]
+    start = 0
+    for size in sizes:
+        batch = rows[start : start + size]
+        start += size
+        assignment = partitioner.assign(batch)
+        for shard_id in range(partitioner.shards):
+            shards[shard_id].append(batch[assignment == shard_id])
+    tail = rows[start:]
+    if tail.shape[0]:
+        assignment = partitioner.assign(tail)
+        for shard_id in range(partitioner.shards):
+            shards[shard_id].append(tail[assignment == shard_id])
+    return [
+        np.concatenate(parts) if parts else np.empty((0, rows.shape[1]))
+        for parts in shards
+    ]
+
+
+@pytest.mark.parametrize("kind", sorted(PARTITIONER_FACTORIES))
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_bulk_routing_matches_row_at_a_time(kind: str, data) -> None:
+    """Satellite regression: shard contents are bitwise batch-invariant."""
+    n = data.draw(st.integers(min_value=1, max_value=120), label="rows")
+    seed = data.draw(st.integers(min_value=0, max_value=2**16), label="seed")
+    shard_count = data.draw(st.integers(min_value=1, max_value=5), label="shards")
+    rows = _rows(n, seed=seed)
+    cut_count = data.draw(st.integers(min_value=0, max_value=6), label="cuts")
+    sizes = [
+        data.draw(st.integers(min_value=0, max_value=n), label=f"size{i}")
+        for i in range(cut_count)
+    ]
+
+    bind_data = _rows(100, seed=1234)
+    bulk = _route_in_slices(
+        _bound(PARTITIONER_FACTORIES[kind](shard_count), bind_data), rows, sizes
+    )
+    row_wise = _route_in_slices(
+        _bound(PARTITIONER_FACTORIES[kind](shard_count), bind_data),
+        rows,
+        [1] * rows.shape[0],
+    )
+    for shard_bulk, shard_rows in zip(bulk, row_wise):
+        np.testing.assert_array_equal(shard_bulk, shard_rows)
