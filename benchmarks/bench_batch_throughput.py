@@ -28,6 +28,8 @@ from repro.experiments.runner import TableResult
 from repro.workload.generators import UniformWorkload
 from repro.workload.queries import compile_queries
 
+from report import bench_report
+
 
 def batch_throughput(
     rows: int = 40_000,
@@ -94,14 +96,23 @@ def batch_throughput(
 
 
 def test_batch_throughput(report):
-    result = report(batch_throughput)
-    speedups = dict(zip(result.column("estimator"), result.column("speedup")))
-    # Every estimator must gain from batching; the KDE synopsis (the paper's
-    # estimator, at its Fig. 3 budget) must gain at least 5x.
-    for label, speedup in speedups.items():
-        assert speedup > 1.0, f"{label} lost throughput on the batch path"
-    assert speedups["kde"] >= 5.0, f"kde speedup {speedups['kde']:.1f}x < 5x"
-    # The recorded EvaluationResult throughput is the batch path.
-    eval_qps = dict(zip(result.column("estimator"), result.column("eval_qps")))
-    for label, qps in eval_qps.items():
-        assert qps > 0, label
+    with bench_report("batch_throughput") as rep:
+        result = report(batch_throughput)
+        speedups = dict(zip(result.column("estimator"), result.column("speedup")))
+        batch_qps = dict(zip(result.column("estimator"), result.column("batch_qps")))
+        for label in speedups:
+            rep.metric(f"{label}_batch_qps", batch_qps[label])
+            rep.metric(f"{label}_speedup_vs_scalar", speedups[label])
+        # Every estimator must gain from batching; the KDE synopsis (the
+        # paper's estimator, at its Fig. 3 budget) must gain at least 5x.
+        for label, speedup in speedups.items():
+            assert rep.gate(
+                f"{label}_gains_from_batching", speedup > 1.0, detail=speedup
+            ), f"{label} lost throughput on the batch path"
+        assert rep.gate(
+            "kde_speedup_ge_5x", speedups["kde"] >= 5.0, detail=speedups["kde"]
+        ), f"kde speedup {speedups['kde']:.1f}x < 5x"
+        # The recorded EvaluationResult throughput is the batch path.
+        eval_qps = dict(zip(result.column("estimator"), result.column("eval_qps")))
+        for label, qps in eval_qps.items():
+            assert qps > 0, label

@@ -28,6 +28,8 @@ from repro.engine.table import Table
 from repro.experiments.runner import TableResult
 from repro.workload.generators import UniformWorkload
 
+from report import bench_report
+
 SMOKE = os.environ.get("BENCH_INGEST_SMOKE") == "1"
 
 
@@ -131,18 +133,32 @@ def test_ingest_throughput(report):
         if SMOKE
         else {}
     )
-    result = report(ingest_throughput, **kwargs)
-    rows = {(r[0], r[1]): r for r in result.rows}
-    if SMOKE:
-        return
-    bulk = rows[("ade_streaming", "bulk")]
-    sequential = rows[("ade_streaming", "sequential")]
-    speedup = bulk[3]
-    assert speedup >= 10.0, f"bulk ingest speedup {speedup:.1f}x < 10x"
-    # Accuracy parity: the bulk maintenance policy must not cost accuracy on
-    # the drift workload (5% relative slack per the acceptance criteria).
-    assert bulk[4] <= sequential[4] * 1.05 + 1e-3, (
-        f"bulk rel err {bulk[4]:.4f} vs sequential {sequential[4]:.4f}"
-    )
-    # The vectorized reservoir must not be slower than its row loop.
-    assert rows[("reservoir_sampling", "bulk")][3] >= 1.0
+    with bench_report("ingest_throughput") as rep:
+        result = report(ingest_throughput, **kwargs)
+        rows = {(r[0], r[1]): r for r in result.rows}
+        for (estimator, path), row in rows.items():
+            rep.metric(f"{estimator}_{path.replace('-', '_')}_rows_per_second", row[2])
+            rep.metric(f"{estimator}_{path.replace('-', '_')}_rel_err_mean", row[4])
+        rep.note(f"smoke={SMOKE}")
+        bulk = rows[("ade_streaming", "bulk")]
+        sequential = rows[("ade_streaming", "sequential")]
+        speedup = bulk[3]
+        rep.gate("bulk_ingest_speedup_ge_10x", speedup >= 10.0, detail=speedup,
+                 enforced=not SMOKE)
+        accuracy_ok = bulk[4] <= sequential[4] * 1.05 + 1e-3
+        rep.gate("bulk_accuracy_parity_5pct", accuracy_ok,
+                 detail={"bulk": bulk[4], "sequential": sequential[4]},
+                 enforced=not SMOKE)
+        reservoir_ok = rows[("reservoir_sampling", "bulk")][3] >= 1.0
+        rep.gate("reservoir_bulk_not_slower", reservoir_ok,
+                 detail=rows[("reservoir_sampling", "bulk")][3], enforced=not SMOKE)
+        if SMOKE:
+            return
+        assert speedup >= 10.0, f"bulk ingest speedup {speedup:.1f}x < 10x"
+        # Accuracy parity: the bulk maintenance policy must not cost accuracy
+        # on the drift workload (5% relative slack per acceptance criteria).
+        assert accuracy_ok, (
+            f"bulk rel err {bulk[4]:.4f} vs sequential {sequential[4]:.4f}"
+        )
+        # The vectorized reservoir must not be slower than its row loop.
+        assert reservoir_ok

@@ -30,6 +30,8 @@ from repro.serve import EstimatorServer
 from repro.workload.generators import UniformWorkload
 from repro.workload.queries import compile_queries
 
+from report import bench_report
+
 SMOKE = os.environ.get("BENCH_SERVE_SMOKE") == "1"
 
 #: Acceptance gate: cached-batch throughput over the uncached path.
@@ -125,11 +127,22 @@ def test_serving_throughput(report):
         if SMOKE
         else {}
     )
-    result = report(serving_throughput, **kwargs)
-    rows = {r[0]: r for r in result.rows}
-    speedup = rows["server (warm cache)"][2]
-    assert speedup >= MIN_CACHED_SPEEDUP, (
-        f"cached-batch speedup {speedup:.1f}x < {MIN_CACHED_SPEEDUP:.0f}x"
-    )
-    # Liveness: the writer must have published while readers were served.
-    assert rows["server, concurrent"][1] > 0
+    with bench_report("serving_throughput") as rep:
+        result = report(serving_throughput, **kwargs)
+        rows = {r[0]: r for r in result.rows}
+        for label, row in rows.items():
+            slug = label.replace(" ", "_").replace("(", "").replace(")", "").replace(",", "")
+            rep.metric(f"{slug}_qps", row[1])
+        rep.note(f"smoke={SMOKE}")
+        speedup = rows["server (warm cache)"][2]
+        assert rep.gate(
+            "warm_cache_speedup_ge_2x",
+            speedup >= MIN_CACHED_SPEEDUP,
+            detail=speedup,
+        ), f"cached-batch speedup {speedup:.1f}x < {MIN_CACHED_SPEEDUP:.0f}x"
+        # Liveness: the writer must have published while readers were served.
+        assert rep.gate(
+            "concurrent_reads_alive",
+            rows["server, concurrent"][1] > 0,
+            detail=rows["server, concurrent"][1],
+        )

@@ -30,6 +30,8 @@ from repro.persist.snapshot import load_estimator
 from repro.workload.generators import UniformWorkload
 from repro.workload.queries import compile_queries
 
+from report import bench_report
+
 SMOKE = os.environ.get("BENCH_SNAPSHOT_SMOKE") == "1"
 
 #: Wall-clock budget for one save + load cycle (generous: snapshots are a
@@ -91,11 +93,27 @@ def snapshot_roundtrip(rows: int = 20_000, queries: int = 500, seed: int = 7) ->
 
 def test_snapshot_roundtrip(report):
     kwargs = dict(rows=4_000, queries=100) if SMOKE else {}
-    result = report(snapshot_roundtrip, **kwargs)
-    for name, save_ms, load_ms, _, drift in result.rows:
-        assert drift <= ATOL, f"{name}: loaded estimates drift by {drift:g} > {ATOL:g}"
-        if not SMOKE:
-            cycle = (save_ms + load_ms) / 1e3
-            assert cycle <= TIME_BUDGET_SECONDS, (
-                f"{name}: save+load took {cycle:.2f}s > {TIME_BUDGET_SECONDS:.1f}s budget"
+    with bench_report("snapshot_roundtrip") as rep:
+        result = report(snapshot_roundtrip, **kwargs)
+        rep.note(f"smoke={SMOKE}")
+        for name, save_ms, load_ms, size, drift in result.rows:
+            rep.metric(f"{name}_save_ms", save_ms)
+            rep.metric(f"{name}_load_ms", load_ms)
+            rep.metric(f"{name}_bytes", size)
+            rep.metric(f"{name}_drift", drift)
+        for name, save_ms, load_ms, _, drift in result.rows:
+            assert rep.gate(f"{name}_fidelity_le_1e12", drift <= ATOL, detail=drift), (
+                f"{name}: loaded estimates drift by {drift:g} > {ATOL:g}"
             )
+            cycle = (save_ms + load_ms) / 1e3
+            ok = rep.gate(
+                f"{name}_cycle_within_budget",
+                cycle <= TIME_BUDGET_SECONDS,
+                detail=cycle,
+                enforced=not SMOKE,
+            )
+            if not SMOKE:
+                assert ok, (
+                    f"{name}: save+load took {cycle:.2f}s > "
+                    f"{TIME_BUDGET_SECONDS:.1f}s budget"
+                )

@@ -1,0 +1,117 @@
+"""Machine-readable benchmark reporting.
+
+Every ``bench_*.py`` harness emits, alongside its rendered text table, one
+``benchmarks/results/BENCH_<name>.json`` file holding the metrics it
+measured and the pass/fail state of its acceptance gates — the
+machine-readable perf trajectory that CI archives per run.  Usage::
+
+    from report import bench_report
+
+    def test_something(report):
+        with bench_report("something") as rep:
+            result = report(experiment)
+            rep.metric("speedup", speedup)
+            assert rep.gate("speedup_ge_5x", speedup >= 5.0), speedup
+
+``gate`` records the outcome and returns it, so the test can still ``assert``
+on it; the JSON file is written when the ``with`` block exits *even when the
+assertion fails*, so a red gate is visible in the artifact, not just in the
+pytest output.  Gates skipped in smoke mode should be recorded with
+``enforced=False`` so the trajectory distinguishes "passed" from "not run".
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+from contextlib import contextmanager
+from datetime import datetime, timezone
+from typing import Any, Iterator
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+__all__ = ["BenchReport", "bench_report", "RESULTS_DIR"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars and other numerics into plain JSON values."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+class BenchReport:
+    """Collects metrics and gate outcomes for one benchmark run."""
+
+    def __init__(self, name: str) -> None:
+        self.name = str(name)
+        self.metrics: dict[str, Any] = {}
+        self.gates: dict[str, dict[str, Any]] = {}
+        self.notes: list[str] = []
+
+    def metric(self, key: str, value: Any) -> None:
+        """Record one measured value (numbers, strings, flat lists/dicts)."""
+        self.metrics[str(key)] = _jsonable(value)
+
+    def note(self, text: str) -> None:
+        """Attach a free-form annotation (configuration, smoke mode, ...)."""
+        self.notes.append(str(text))
+
+    def gate(
+        self, key: str, passed: bool, *, detail: Any = None, enforced: bool = True
+    ) -> bool:
+        """Record an acceptance-gate outcome and return ``passed``.
+
+        ``enforced=False`` marks a gate that was evaluated (or skipped) in a
+        non-gating configuration — smoke mode on shared CI hardware — so the
+        overall ``passed`` flag of the report ignores it.
+        """
+        self.gates[str(key)] = {
+            "passed": bool(passed),
+            "enforced": bool(enforced),
+            "detail": _jsonable(detail),
+        }
+        return bool(passed)
+
+    @property
+    def passed(self) -> bool:
+        """Whether every enforced gate passed (vacuously true without gates)."""
+        return all(g["passed"] for g in self.gates.values() if g["enforced"])
+
+    def write(self, directory: pathlib.Path | None = None) -> pathlib.Path:
+        """Write ``BENCH_<name>.json`` under ``benchmarks/results/``."""
+        directory = directory or RESULTS_DIR
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{self.name}.json"
+        payload = {
+            "name": self.name,
+            "passed": self.passed,
+            "metrics": self.metrics,
+            "gates": self.gates,
+            "notes": self.notes,
+            "python": platform.python_version(),
+            "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+
+@contextmanager
+def bench_report(name: str) -> Iterator[BenchReport]:
+    """Context manager: yield a :class:`BenchReport`, write it on exit.
+
+    The file is written even when the block raises (a failed gate assertion
+    must still leave its red record in the artifact).
+    """
+    rep = BenchReport(name)
+    try:
+        yield rep
+    finally:
+        rep.write()

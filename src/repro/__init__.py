@@ -61,6 +61,11 @@ from repro.core.estimator import (
     estimator_from_config,
     register_estimator,
 )
+from repro.core.fastpath import (
+    KernelSupportIndex,
+    fastpath_disabled,
+    fastpath_enabled,
+)
 from repro.core.feedback import FeedbackAdaptiveEstimator
 from repro.core.kde import KDESelectivityEstimator
 from repro.core.kernels import (
@@ -158,6 +163,10 @@ __all__ = [
     "create_estimator",
     "available_estimators",
     "estimator_from_config",
+    # query fast path
+    "KernelSupportIndex",
+    "fastpath_enabled",
+    "fastpath_disabled",
     # kernels & bandwidths
     "Kernel",
     "GaussianKernel",

@@ -8,6 +8,9 @@ Sub-modules
     Rule-of-thumb, cross-validation and local (adaptive) bandwidth selection.
 ``estimator``
     The :class:`SelectivityEstimator` contract, registry and budget accounting.
+``fastpath``
+    Query-side fast path: support-culling kernel index + the batched
+    product-kernel CDF micro-kernel shared by the whole estimator family.
 ``kde``
     Fixed-bandwidth sample-based KDE selectivity estimator.
 ``adaptive``

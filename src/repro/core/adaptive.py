@@ -59,6 +59,7 @@ class AdaptiveKDEEstimator(KDESelectivityEstimator):
         sensitivity: float = 0.5,
         max_factor: float = 3.0,
         seed: int | None = 0,
+        fastpath: bool = True,
     ) -> None:
         super().__init__(
             sample_size=sample_size,
@@ -67,6 +68,7 @@ class AdaptiveKDEEstimator(KDESelectivityEstimator):
             bandwidths=bandwidths,
             boundary_correction=boundary_correction,
             seed=seed,
+            fastpath=fastpath,
         )
         if not 0.0 <= sensitivity <= 1.0:
             raise InvalidParameterError("sensitivity must lie in [0, 1]")
@@ -80,6 +82,9 @@ class AdaptiveKDEEstimator(KDESelectivityEstimator):
     def fit(self, table: Table, columns: Sequence[str] | None = None) -> "AdaptiveKDEEstimator":
         super().fit(table, columns)
         self._fit_local_factors()
+        # The per-point factors widen the support radii, so the fast-path
+        # index built during fit (if any) is stale again.
+        self._invalidate_support_index()
         return self
 
     def _fit_local_factors(self) -> None:
@@ -124,6 +129,7 @@ class AdaptiveKDEEstimator(KDESelectivityEstimator):
     def _restore_state(self, arrays, meta) -> None:
         super()._restore_state(arrays, meta)
         self._local_factors = np.asarray(arrays["local_factors"], dtype=float)
+        self._invalidate_support_index()
 
     @property
     def local_factors(self) -> np.ndarray:
@@ -136,16 +142,27 @@ class AdaptiveKDEEstimator(KDESelectivityEstimator):
         return int(base + self._local_factors.size * FLOAT_BYTES)
 
     # -- estimation -------------------------------------------------------------
-    def _axis_bandwidths(self, axis: int, centers: np.ndarray) -> np.ndarray:
+    def _axis_bandwidths(self, axis: int, ids: np.ndarray | None) -> np.ndarray:
         """Per-point bandwidths ``h_d · λ_i`` along one axis.
 
-        Reflected centers reuse the same per-point factors; pilot paths with
-        no factors fall back to the fixed bandwidth behaviour.
+        ``ids`` selects the candidate sample points of a culled evaluation
+        (``None``: all points); pilot paths with no factors fall back to the
+        fixed bandwidth behaviour.
         """
         factors = self._local_factors
-        if factors.size != centers.size:
-            factors = np.ones(centers.size) if factors.size == 0 else factors
+        if factors.size == 0:
+            factors = np.ones(self._points.shape[0])
+        if ids is not None:
+            factors = factors[ids]
         return self._bandwidths[axis] * factors
+
+    def _support_radii(self) -> np.ndarray:
+        """Per-point, per-axis support radii: the base radii widened by λ_i."""
+        base = super()._support_radii()
+        factors = self._local_factors
+        if factors.size == 0:
+            return base
+        return np.outer(factors, base)
 
     def density(self, points: np.ndarray) -> np.ndarray:
         """Evaluate the adaptive density estimate at ``points``."""

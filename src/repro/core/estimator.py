@@ -125,6 +125,18 @@ DESCRIBE_METADATA_KEYS = frozenset(
 )
 
 
+def _workload_is_empty(queries: object) -> bool:
+    """Whether a workload is a sized, empty container (plan or sequence).
+
+    Unsized iterables return ``False`` and are materialised by compilation —
+    only provably empty workloads take the pre-compilation short-circuit.
+    """
+    try:
+        return len(queries) == 0  # type: ignore[arg-type]
+    except TypeError:
+        return False
+
+
 class SelectivityEstimator(ABC):
     """Abstract base class of every synopsis.
 
@@ -180,9 +192,18 @@ class SelectivityEstimator(ABC):
         :class:`~repro.workload.queries.CompiledQueries` plan, which skips all
         per-query Python work.  Queries constraining attributes the synopsis
         does not cover raise
-        :class:`~repro.core.errors.DimensionMismatchError`.
+        :class:`~repro.core.errors.DimensionMismatchError`.  An empty
+        workload short-circuits to an empty float64 vector before any plan is
+        compiled — the model is never touched.
         """
         self._require_fitted()
+        if _workload_is_empty(queries):
+            if isinstance(queries, CompiledQueries):
+                # Keep the column-compatibility check: a zero-row plan built
+                # for a different synopsis is still a caller bug worth raising
+                # on, and validating an empty plan costs nothing.
+                compile_queries(queries, self._columns)
+            return np.zeros(0)
         compiled = compile_queries(queries, self._columns)
         if len(compiled) == 0:
             return np.zeros(0)

@@ -1,0 +1,398 @@
+"""Query-side fast path: kernel support culling + the batched CDF micro-kernel.
+
+Every estimator of the kernel family (fixed KDE, adaptive KDE, the streaming
+ADE and — through its wrapped base — the feedback wrapper) answers a range
+query as a weighted sum of per-kernel product masses,
+
+    ``sel(Q) = (1/W) Σ_i w_i Π_d mass_d(i, Q)``.
+
+The dense evaluation is O(kernels × queries × dims) normal-CDF calls even
+though a kernel more than a few bandwidths away from the query box
+contributes essentially nothing.  This module supplies the two pieces that
+make the family fast without changing its answers:
+
+:class:`KernelSupportIndex`
+    A per-dimension sorted index of kernel positions with *effective support
+    radii*.  A kernel whose ``±radius`` support cannot overlap a query box on
+    some axis is culled via two ``searchsorted`` probes per axis; surviving
+    axes are intersected with per-kernel radius checks.  Compact kernels
+    (Epanechnikov & friends) use their exact support radius, so culling is
+    lossless; the Gaussian uses the ε-derived radius below.
+
+:func:`weighted_box_masses`
+    The single batched product-kernel CDF micro-kernel: a blocked,
+    preallocated-buffer accumulation of ``Σ_i w_i Π_d mass_d`` that both the
+    dense reference path and the culled group path run on.  It replaces the
+    near-duplicate inner loops that previously lived in ``core/kde.py`` and
+    ``core/streaming.py`` (and that ``core/adaptive.py`` /
+    ``core/feedback.py`` inherited).
+
+Epsilon / atol policy
+---------------------
+
+Culling an unbounded (Gaussian) kernel drops real mass, so the cull radius is
+derived from a deviation budget: with per-image tail tolerance
+``ε = atol / 24`` the radius is ``-ndtri(ε)`` (≈ 7.5 at the default
+``atol = 1e-12``).  Every culled kernel image then contributes at most ``ε``
+axis mass, and because the per-kernel weights are normalised the *total*
+deviation of a fast-path estimate from the dense path is bounded by
+``3·ε ≤ atol/8`` (three kernel images per axis under boundary reflection —
+the reflected images of significant kernels provably fall inside the same
+candidate interval, see ``KernelSupportIndex.box_candidates``).  The safety
+factor 24 also absorbs the evaluation-order differences between grouped and
+per-query candidate sets, which is what keeps one-row batches (the scalar
+``estimate`` sugar) within 1e-12 of large batches.  Estimates are culled
+*downward* only: the fast path never reports more mass than the dense path.
+
+Staleness contract
+------------------
+
+Estimators cache their index together with a staleness counter (an epoch
+bumped by every synopsis mutation — fit, bulk/sequential insert, flush of a
+pending chunk, compress, prune, snapshot restore).  The index is rebuilt
+lazily on the next estimate after the epoch moved; per-tuple index updates
+are never attempted.  The cached ``(epoch, index)`` tuple is swapped as one
+attribute, so concurrent readers (the serving layer calls ``estimate_batch``
+from many threads) either see a consistent cached index or rebuild it — an
+idempotent, benign race.  Deep-copying an estimator (the serving layer's
+copy-on-write ``checkout``/``publish``) carries the cached index along.
+
+Disable the fast path per estimator with ``fastpath=False`` (constructor
+parameter of the kernel-family estimators) or process-wide with the
+:func:`fastpath_disabled` context manager; both leave the dense reference
+path as the single evaluation route, which the equivalence suite compares
+against.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+import numpy as np
+from scipy import special
+
+__all__ = [
+    "DEFAULT_ATOL",
+    "KernelSupportIndex",
+    "cull_epsilon",
+    "estimate_boxes",
+    "fastpath_disabled",
+    "fastpath_enabled",
+    "gaussian_cull_radius",
+    "gaussian_tail_radius",
+    "normal_box_mass",
+    "weighted_box_masses",
+]
+
+#: Documented maximum absolute deviation of a fast-path estimate from the
+#: dense reference path (see the module docstring for the derivation).
+DEFAULT_ATOL = 1e-12
+
+#: Deviation-budget safety factor: three kernel images per axis (center plus
+#: two boundary reflections) times headroom for grouping and dot-product
+#: rounding differences.
+_EPSILON_SAFETY = 24.0
+
+#: Below this many kernels a dense pass beats any index overhead.
+_MIN_KERNELS = 32
+
+#: Queries whose tightest per-axis candidate range still keeps this fraction
+#: of all kernels are answered densely — culling would not pay for them.
+_DENSE_FRACTION = 0.75
+
+#: Aimed-for queries per evaluation group (grid-bucketed query clustering).
+_TARGET_GROUP = 64
+
+#: Work-buffer bound for the micro-kernel: (queries-per-block × kernels)
+#: stays at or below this many floats (≈ 1 MB), keeping the per-block
+#: temporaries cache resident while still amortising interpreter overhead.
+_BUFFER_ELEMENTS = 1 << 17
+
+#: ``axis_mass(ids, axis, lows, highs) -> (queries, kernels)`` — per-axis
+#: kernel mass of every (query, kernel) pair; ``ids`` selects a candidate
+#: kernel subset (``None`` means all kernels).
+AxisMass = Callable[[np.ndarray | None, int, np.ndarray, np.ndarray], np.ndarray]
+
+_ENABLED = True
+
+
+def fastpath_enabled() -> bool:
+    """Whether the process-wide fast-path switch is on (default: yes)."""
+    return _ENABLED
+
+
+@contextmanager
+def fastpath_disabled():
+    """Force every estimator onto the dense reference path within the block.
+
+    The equivalence suite and the fast-path benchmark use this to reach the
+    dense path without rebuilding estimators; it composes with (and is
+    overridden by neither) the per-estimator ``fastpath=False`` parameter.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+def cull_epsilon(atol: float = DEFAULT_ATOL) -> float:
+    """Per-kernel-image tail-mass tolerance for a total deviation ``atol``."""
+    return max(float(atol), 1e-300) / _EPSILON_SAFETY
+
+
+def gaussian_tail_radius(epsilon: float) -> float:
+    """The radius with ``Φ(-r) ≤ epsilon`` (one-sided tail mass beyond ``r``).
+
+    Clamped to ``[1, 40]``; the single source of the Gaussian tail bound used
+    by both :func:`gaussian_cull_radius` and
+    :meth:`repro.core.kernels.GaussianKernel.effective_support_radius`.
+    """
+    return float(min(max(-special.ndtri(max(float(epsilon), 1e-300)), 1.0), 40.0))
+
+
+def gaussian_cull_radius(atol: float = DEFAULT_ATOL) -> float:
+    """Standardised cull radius for the Gaussian kernel at deviation ``atol``.
+
+    ``Φ(-radius) ≤ cull_epsilon(atol)``, so a Gaussian kernel (or cluster
+    kernel) whose center is more than ``radius`` standard deviations outside
+    the query interval contributes at most ``ε`` axis mass.
+    """
+    return gaussian_tail_radius(cull_epsilon(atol))
+
+
+def normal_box_mass(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    means: np.ndarray,
+    stds: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Mass of ``N(means, stds²)`` inside ``[lows, highs]``, elementwise.
+
+    Uses ``ndtr`` (the normal CDF evaluated directly) — several times faster
+    than composing ``erf``, and this is the hot function of batch estimation.
+    ``out`` may supply a preallocated result buffer of the broadcast shape.
+    """
+    if out is None:
+        mass = np.subtract(highs, means)
+    else:
+        mass = np.subtract(highs, means, out=out)
+    np.divide(mass, stds, out=mass)
+    special.ndtr(mass, out=mass)
+    work = np.subtract(lows, means)
+    np.divide(work, stds, out=work)
+    special.ndtr(work, out=work)
+    np.subtract(mass, work, out=mass)
+    return np.clip(mass, 0.0, 1.0, out=mass)
+
+
+class KernelSupportIndex:
+    """Per-dimension sorted kernel positions with effective support radii.
+
+    ``centers`` is the ``(K, d)`` matrix of kernel positions; ``radii`` the
+    per-kernel per-axis effective support (broadcastable to ``(K, d)``):
+    kernel ``i`` contributes more than the cull epsilon on axis ``d`` only to
+    intervals overlapping ``[c_id - r_id, c_id + r_id]``.  Instances are
+    immutable snapshots of the synopsis geometry — a mutated synopsis builds
+    a fresh index (see the staleness contract in the module docstring).
+    """
+
+    __slots__ = (
+        "centers",
+        "radii",
+        "orders",
+        "sorted_positions",
+        "max_radii",
+        "kernel_count",
+        "dims",
+    )
+
+    def __init__(self, centers: np.ndarray, radii: np.ndarray) -> None:
+        centers = np.ascontiguousarray(np.atleast_2d(centers), dtype=float)
+        self.centers = centers
+        self.kernel_count, self.dims = centers.shape
+        self.radii = np.ascontiguousarray(
+            np.broadcast_to(np.asarray(radii, dtype=float), centers.shape)
+        )
+        #: per-axis argsort of the kernel positions (``(K, d)``)
+        self.orders = np.argsort(centers, axis=0, kind="stable")
+        self.sorted_positions = np.take_along_axis(centers, self.orders, axis=0)
+        self.max_radii = (
+            self.radii.max(axis=0)
+            if self.kernel_count
+            else np.zeros(self.dims)
+        )
+
+    def candidate_counts(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Per-query, per-axis candidate-count upper bounds (``(n, d)``).
+
+        Two vectorised ``searchsorted`` probes per axis against the sorted
+        positions, widened by the axis's maximum support radius.  The counts
+        drive the dense-vs-culled routing and the choice of primary axis.
+        """
+        counts = np.empty(lows.shape, dtype=np.int64)
+        for axis in range(self.dims):
+            positions = self.sorted_positions[:, axis]
+            radius = self.max_radii[axis]
+            starts = np.searchsorted(positions, lows[:, axis] - radius, side="left")
+            stops = np.searchsorted(positions, highs[:, axis] + radius, side="right")
+            counts[:, axis] = stops - starts
+        return counts
+
+    def box_candidates(self, low: np.ndarray, high: np.ndarray) -> np.ndarray:
+        """Ascending kernel ids whose support can overlap the box ``[low, high]``.
+
+        The axis with the fewest in-range kernels supplies the initial
+        contiguous slice of its sort order; every axis (including that one)
+        then refines with the exact per-kernel radius test, so the result is
+        the intersection of the per-axis support overlaps.  Reflected kernel
+        images (boundary-corrected KDE) need no extra probes: a reflected
+        image overlaps a domain-clipped interval only if its source kernel
+        sits within one support radius of the interval, which places the
+        source inside the same candidate slice.
+        """
+        starts = np.empty(self.dims, dtype=np.int64)
+        stops = np.empty(self.dims, dtype=np.int64)
+        for axis in range(self.dims):
+            positions = self.sorted_positions[:, axis]
+            radius = self.max_radii[axis]
+            starts[axis] = np.searchsorted(positions, low[axis] - radius, side="left")
+            stops[axis] = np.searchsorted(positions, high[axis] + radius, side="right")
+        primary = int(np.argmin(stops - starts))
+        ids = self.orders[starts[primary] : stops[primary], primary]
+        if ids.size == 0:
+            return ids
+        keep = np.ones(ids.size, dtype=bool)
+        for axis in range(self.dims):
+            centers = self.centers[ids, axis]
+            radii = self.radii[ids, axis]
+            keep &= centers + radii >= low[axis]
+            keep &= centers - radii <= high[axis]
+        return np.sort(ids[keep])
+
+
+def weighted_box_masses(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    axis_mass: AxisMass,
+    weights: np.ndarray,
+    total_weight: float,
+    ids: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """The product-kernel CDF micro-kernel: ``(1/W) Σ_i w_i Π_d mass_d(i)``.
+
+    Evaluates every query box in ``(lows, highs)`` against the kernel subset
+    ``ids`` (all kernels when ``None``), blocked over queries with one
+    preallocated ``(block, kernels)`` accumulation buffer so arbitrarily
+    large batches stay cache resident.  This is the single inner loop of the
+    whole estimator family — the dense reference path runs it over all
+    kernels, the fast path over culled candidate sets.
+    """
+    n = lows.shape[0]
+    dims = lows.shape[1]
+    if out is None:
+        out = np.empty(n)
+    kernel_weights = weights if ids is None else weights[ids]
+    count = kernel_weights.size
+    if count == 0 or n == 0:
+        out[:n] = 0.0
+        return out
+    block = max(_BUFFER_ELEMENTS // count, 1)
+    buffer = np.empty((min(block, n), count))
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        masses = buffer[: stop - start]
+        masses[:] = 1.0
+        for axis in range(dims):
+            np.multiply(
+                masses,
+                axis_mass(ids, axis, lows[start:stop, axis], highs[start:stop, axis]),
+                out=masses,
+            )
+        np.matmul(masses, kernel_weights, out=out[start:stop])
+    out[:n] /= total_weight
+    return out
+
+
+def _spatial_groups(
+    lows: np.ndarray, highs: np.ndarray, index: KernelSupportIndex
+) -> Iterator[np.ndarray]:
+    """Cluster query boxes into spatially coherent evaluation groups.
+
+    Nearby boxes share one culled candidate set, so grouping trades a
+    slightly wider union box for full vectorisation across the group.  Box
+    centers (clipped to the kernel position range, which keeps one-sided and
+    full-domain boxes finite) are bucketed on a coarse grid sized for about
+    ``_TARGET_GROUP`` queries per cell; each occupied cell is one group.
+    """
+    n, dims = lows.shape
+    if n <= 1:
+        yield np.arange(n)
+        return
+    position_low = index.sorted_positions[0, :]
+    position_high = index.sorted_positions[-1, :]
+    centers = 0.5 * (
+        np.maximum(lows, position_low) + np.minimum(highs, position_high)
+    )
+    span = position_high - position_low
+    span = np.where(span > 0, span, 1.0)
+    cells_per_axis = max(int(np.ceil((n / _TARGET_GROUP) ** (1.0 / dims))), 1)
+    cells = ((centers - position_low) / span * cells_per_axis).astype(np.int64)
+    np.clip(cells, 0, cells_per_axis - 1, out=cells)
+    keys = np.zeros(n, dtype=np.int64)
+    for axis in range(dims):
+        keys *= cells_per_axis
+        keys += cells[:, axis]
+    order = np.argsort(keys, kind="stable")
+    boundaries = np.flatnonzero(np.diff(keys[order])) + 1
+    yield from np.split(order, boundaries)
+
+
+def estimate_boxes(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    index: KernelSupportIndex,
+    weights: np.ndarray,
+    total_weight: float,
+    axis_mass: AxisMass,
+) -> np.ndarray | None:
+    """Support-culled batch estimation over a kernel index.
+
+    Routes each query by its tightest per-axis candidate count: wide queries
+    (candidate fraction ≥ ``_DENSE_FRACTION``) run on the dense micro-kernel
+    directly, selective queries are clustered into spatial groups and each
+    group is evaluated against one shared culled candidate set.  Returns
+    ``None`` when culling cannot pay at all (tiny synopses, or every query is
+    wide) — the caller then takes the dense path itself.
+    """
+    n = lows.shape[0]
+    if index.kernel_count < _MIN_KERNELS or n == 0:
+        return None
+    counts = index.candidate_counts(lows, highs)
+    tightest = counts.min(axis=1)
+    selective = tightest < index.kernel_count * _DENSE_FRACTION
+    if not selective.any():
+        return None
+    out = np.zeros(n)
+    wide = np.flatnonzero(~selective)
+    if wide.size:
+        out[wide] = weighted_box_masses(
+            lows[wide], highs[wide], axis_mass, weights, total_weight
+        )
+    chosen = np.flatnonzero(selective)
+    for group in _spatial_groups(lows[chosen], highs[chosen], index):
+        queries = chosen[group]
+        union_low = lows[queries].min(axis=0)
+        union_high = highs[queries].max(axis=0)
+        ids = index.box_candidates(union_low, union_high)
+        if ids.size == 0:
+            continue  # no kernel reaches any box in the group: mass 0
+        out[queries] = weighted_box_masses(
+            lows[queries], highs[queries], axis_mass, weights, total_weight, ids=ids
+        )
+    return out

@@ -17,6 +17,15 @@ bounded log of such observations to correct future estimates:
 The feedback log is bounded: when it exceeds ``max_regions`` the oldest and
 lowest-weight entries are evicted, so the synopsis stays within its space
 budget no matter how long the workload runs.
+
+Estimation cost: the base-model half of every batch flows through the wrapped
+estimator's ``estimate_batch`` and therefore through the query fast path of
+:mod:`repro.core.fastpath` whenever the base is a kernel-family synopsis
+(build the base with ``fastpath=False`` to pin the wrapper to the dense
+reference path).  The correction half keeps its own region-overlap loop —
+box intersection, not CDF work — but the feedback-log arrays it consumes are
+cached behind a staleness counter (``feedback_count``) instead of being
+re-stacked from the record deque on every batch.
 """
 
 from __future__ import annotations
@@ -135,6 +144,10 @@ class FeedbackAdaptiveEstimator(FeedbackEstimator):
         self._feedback_count = 0
         self._domain_low = np.empty(0)
         self._domain_high = np.empty(0)
+        # Cached (feedback_count, lows, highs, log_ratios, recency, volumes)
+        # region arrays: every feedback() bumps the count, so the stacked
+        # views are rebuilt lazily instead of per estimate_batch call.
+        self._region_cache: tuple | None = None
 
     # -- lifecycle ---------------------------------------------------------
     def fit(
@@ -148,6 +161,7 @@ class FeedbackAdaptiveEstimator(FeedbackEstimator):
         self._records.clear()
         self._log_bias = 0.0
         self._feedback_count = 0
+        self._region_cache = None
         self._mark_fitted(columns, table.row_count)
         return self
 
@@ -223,6 +237,7 @@ class FeedbackAdaptiveEstimator(FeedbackEstimator):
             )
             record.age = int(ages[i])
             self._records.append(record)
+        self._region_cache = None
         base_state = dict(meta["base"])
         base_state["arrays"] = {
             key[len("base::"):]: value
@@ -300,11 +315,9 @@ class FeedbackAdaptiveEstimator(FeedbackEstimator):
         n = lows.shape[0]
         if not self._records:
             return np.ones(n)
-        record_lows = np.stack([r.lows for r in self._records])
-        record_highs = np.stack([r.highs for r in self._records])
-        log_ratios = np.array([r.log_ratio for r in self._records])
-        recency = np.array([self._recency_weight(r) for r in self._records])
-        record_volumes = self._box_volumes(record_lows, record_highs)
+        record_lows, record_highs, log_ratios, recency, record_volumes = (
+            self._region_arrays()
+        )
         query_volumes = self._box_volumes(lows, highs)
 
         records = record_lows.shape[0]
@@ -330,6 +343,33 @@ class FeedbackAdaptiveEstimator(FeedbackEstimator):
                 total_weight > 0.0, np.exp(confidence * blended), 1.0
             )
         return factors
+
+    def _region_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Stacked feedback-log arrays, cached until the next ``feedback()``.
+
+        ``feedback()`` is the only mutator of the record deque (append, ages,
+        eviction) and always increments ``_feedback_count``, which therefore
+        doubles as the staleness counter of this cache.
+        """
+        cached = self._region_cache
+        if cached is not None and cached[0] == self._feedback_count:
+            return cached[1:]
+        record_lows = np.stack([r.lows for r in self._records])
+        record_highs = np.stack([r.highs for r in self._records])
+        log_ratios = np.array([r.log_ratio for r in self._records])
+        recency = np.array([self._recency_weight(r) for r in self._records])
+        record_volumes = self._box_volumes(record_lows, record_highs)
+        self._region_cache = (
+            self._feedback_count,
+            record_lows,
+            record_highs,
+            log_ratios,
+            recency,
+            record_volumes,
+        )
+        return record_lows, record_highs, log_ratios, recency, record_volumes
 
     def _box_volumes(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
         """Normalised box volumes over the trailing attribute axis."""

@@ -24,6 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core import fastpath
 from repro.core.bandwidth import select_bandwidth
 from repro.core.errors import InvalidParameterError
 from repro.core.estimator import (
@@ -38,11 +39,6 @@ if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
     from repro.engine.table import Table
 
 __all__ = ["KDESelectivityEstimator"]
-
-#: Work-buffer bound for batched estimation: (queries-per-block × samples)
-#: stays at or below this many floats (≈ 1 MB), keeping the per-block
-#: temporaries cache resident while still amortising interpreter overhead.
-_BATCH_BUFFER_ELEMENTS = 1 << 17
 
 
 @register_estimator("kde")
@@ -66,6 +62,12 @@ class KDESelectivityEstimator(SelectivityEstimator):
         boundaries so no probability mass falls outside the observed domain.
     seed:
         Seed for the sampling generator (reproducibility).
+    fastpath:
+        When true (default), batch estimation runs through the support-culling
+        query fast path (:mod:`repro.core.fastpath`), which matches the dense
+        path to :data:`~repro.core.fastpath.DEFAULT_ATOL`.  Set ``False`` to
+        pin the estimator to the dense reference path (debugging, exact
+        reproduction of pre-fast-path numbers).
     """
 
     name = "kde"
@@ -78,6 +80,7 @@ class KDESelectivityEstimator(SelectivityEstimator):
         bandwidths: Sequence[float] | None = None,
         boundary_correction: bool = True,
         seed: int | None = 0,
+        fastpath: bool = True,
     ) -> None:
         super().__init__()
         if sample_size is not None and sample_size < 1:
@@ -90,12 +93,19 @@ class KDESelectivityEstimator(SelectivityEstimator):
         )
         self.boundary_correction = boundary_correction
         self.seed = seed
+        self.fastpath = bool(fastpath)
 
         self._points: np.ndarray = np.empty((0, 0))
         self._weights: np.ndarray = np.empty(0)
         self._bandwidths: np.ndarray = np.empty(0)
         self._domain_low: np.ndarray = np.empty(0)
         self._domain_high: np.ndarray = np.empty(0)
+        # Staleness counter + cached (epoch, KernelSupportIndex) pair for the
+        # query fast path; every synopsis mutation bumps the epoch and the
+        # index is rebuilt lazily on the next estimate (one atomic attribute,
+        # so concurrent readers at worst rebuild — an idempotent race).
+        self._synopsis_epoch = 0
+        self._support_cache: tuple[int, fastpath.KernelSupportIndex] | None = None
 
     # -- fitting -------------------------------------------------------------
     def fit(self, table: Table, columns: Sequence[str] | None = None) -> "KDESelectivityEstimator":
@@ -111,8 +121,14 @@ class KDESelectivityEstimator(SelectivityEstimator):
         self._weights = np.ones(sample.shape[0], dtype=float)
         self._fit_domain(data)
         self._fit_bandwidths(sample, rng)
+        self._invalidate_support_index()
         self._mark_fitted(columns, table.row_count)
         return self
+
+    def _invalidate_support_index(self) -> None:
+        """Bump the staleness counter: the synopsis geometry changed."""
+        self._synopsis_epoch += 1
+        self._support_cache = None
 
     def _fit_domain(self, data: np.ndarray) -> None:
         if data.size == 0:
@@ -165,6 +181,7 @@ class KDESelectivityEstimator(SelectivityEstimator):
             ),
             "boundary_correction": self.boundary_correction,
             "seed": self.seed,
+            "fastpath": self.fastpath,
         }
 
     def _state(self) -> tuple[dict, dict]:
@@ -183,6 +200,7 @@ class KDESelectivityEstimator(SelectivityEstimator):
         self._bandwidths = np.asarray(arrays["bandwidths"], dtype=float)
         self._domain_low = np.asarray(arrays["domain_low"], dtype=float)
         self._domain_high = np.asarray(arrays["domain_high"], dtype=float)
+        self._invalidate_support_index()
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -208,6 +226,7 @@ class KDESelectivityEstimator(SelectivityEstimator):
         if np.any(bandwidths <= 0):
             raise InvalidParameterError("bandwidths must be positive")
         self._bandwidths = bandwidths
+        self._invalidate_support_index()
 
     def memory_bytes(self) -> int:
         self._require_fitted()
@@ -219,9 +238,10 @@ class KDESelectivityEstimator(SelectivityEstimator):
     def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
         """Box mass of the kernel mixture for ``(n, d)`` bound matrices.
 
-        Broadcasts the CDF difference of every (query, sample point) pair, so
-        the whole batch is a handful of numpy operations per attribute.  The
-        ``(block, m)`` work buffer is kept bounded by chunking over queries.
+        Selective batches run through the support-culling fast path
+        (:func:`repro.core.fastpath.estimate_boxes`); everything else — and
+        estimators built with ``fastpath=False`` — runs the dense reference
+        path on the same batched product-kernel CDF micro-kernel.
         """
         n = lows.shape[0]
         if self._points.shape[0] == 0:
@@ -229,34 +249,48 @@ class KDESelectivityEstimator(SelectivityEstimator):
         total_weight = float(self._weights.sum())
         if total_weight <= 0:
             return np.zeros(n)
-        m, dims = self._points.shape
-        out = np.empty(n)
-        block = max(_BATCH_BUFFER_ELEMENTS // max(m, 1), 1)
-        for start in range(0, n, block):
-            stop = min(start + block, n)
-            masses = np.ones((stop - start, m))
-            for d in range(dims):
-                masses *= self._axis_mass(
-                    self._points[:, d], d, lows[start:stop, d], highs[start:stop, d]
-                )
-            out[start:stop] = masses @ self._weights / total_weight
-        return out
+        if self.fastpath and fastpath.fastpath_enabled():
+            culled = fastpath.estimate_boxes(
+                lows, highs, self._support_index(), self._weights, total_weight,
+                self._axis_mass,
+            )
+            if culled is not None:
+                return culled
+        return fastpath.weighted_box_masses(
+            lows, highs, self._axis_mass, self._weights, total_weight
+        )
 
-    def _axis_bandwidths(self, axis: int, centers: np.ndarray) -> float | np.ndarray:
+    def _support_index(self) -> "fastpath.KernelSupportIndex":
+        """The cached per-dimension support-culling index (lazily rebuilt)."""
+        cached = self._support_cache
+        if cached is not None and cached[0] == self._synopsis_epoch:
+            return cached[1]
+        index = fastpath.KernelSupportIndex(self._points, self._support_radii())
+        self._support_cache = (self._synopsis_epoch, index)
+        return index
+
+    def _support_radii(self) -> np.ndarray:
+        """Per-axis effective support radii (``(d,)``; subclasses widen per point)."""
+        scale = self.kernel.effective_support_radius(fastpath.cull_epsilon())
+        return self._bandwidths * scale
+
+    def _axis_bandwidths(self, axis: int, ids: np.ndarray | None) -> float | np.ndarray:
         """Bandwidth(s) along one axis; adaptive subclasses return per-point arrays."""
         return float(self._bandwidths[axis])
 
     def _axis_mass(
-        self, centers: np.ndarray, axis: int, low: np.ndarray, high: np.ndarray
+        self, ids: np.ndarray | None, axis: int, low: np.ndarray, high: np.ndarray
     ) -> np.ndarray:
         """Kernel mass of every (query, point) pair on one axis, with reflection.
 
-        ``centers`` is the ``(m,)`` vector of sample coordinates, ``low`` /
-        ``high`` the ``(k,)`` per-query bounds; the result is ``(k, m)``.
-        Centers are pre-divided by the bandwidth so each CDF argument costs a
-        single broadcast pass — this is the hot loop of batch estimation.
+        ``ids`` selects the candidate sample points (``None``: all of them),
+        ``low`` / ``high`` are the ``(k,)`` per-query bounds; the result is
+        ``(k, m)``.  Centers are pre-divided by the bandwidth so each CDF
+        argument costs a single broadcast pass — this is the hot loop of
+        batch estimation.
         """
-        h = self._axis_bandwidths(axis, centers)
+        centers = self._points[:, axis] if ids is None else self._points[ids, axis]
+        h = self._axis_bandwidths(axis, ids)
         inv_h = 1.0 / h
         scaled_centers = centers * inv_h
         domain_low = self._domain_low[axis]

@@ -75,6 +75,17 @@ class Kernel(ABC):
         """Radius beyond which the kernel is exactly zero (``inf`` if unbounded)."""
         return math.inf
 
+    def effective_support_radius(self, epsilon: float) -> float:
+        """Radius beyond which the one-sided tail mass is at most ``epsilon``.
+
+        Compact kernels return their exact support radius (culling beyond it
+        loses no mass at all); unbounded kernels override with an
+        epsilon-derived radius.  The inherited ``inf`` makes support culling
+        retain every kernel, degrading the query fast path gracefully to the
+        dense path for kernels without a tail bound.
+        """
+        return self.support_radius
+
     # -- derived quantities ------------------------------------------------
     def interval_mass(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Mass of the kernel on the interval ``[a, b]`` (standardised units)."""
@@ -125,6 +136,12 @@ class GaussianKernel(Kernel):
         # faster than composing erf and is the hot function of every
         # Gaussian-kernel batch estimate.
         return special.ndtr(u)
+
+    def effective_support_radius(self, epsilon: float) -> float:
+        """The radius with ``Φ(-r) ≤ epsilon`` (tail mass beyond ``r``)."""
+        from repro.core.fastpath import gaussian_tail_radius  # lazy: import order
+
+        return gaussian_tail_radius(epsilon)
 
     @property
     def variance(self) -> float:

@@ -63,8 +63,8 @@ import math
 from typing import Sequence
 
 import numpy as np
-from scipy import special
 
+from repro.core import fastpath
 from repro.core.errors import InvalidParameterError, StreamError
 from repro.core.estimator import FLOAT_BYTES, StreamingEstimator, register_estimator
 from repro.stream.batches import normalize_batch
@@ -85,17 +85,9 @@ _ASSIGN_BUFFER_ELEMENTS = 1 << 21
 _SCALE_FLOOR = 1e-100
 
 
-def _normal_interval_mass(
-    lows: np.ndarray, highs: np.ndarray, means: np.ndarray, stds: np.ndarray
-) -> np.ndarray:
-    """Mass of N(means, stds²) inside [lows, highs], elementwise.
-
-    Uses ``ndtr`` (the normal CDF evaluated directly) — several times faster
-    than composing ``erf``, and this is the hot function of batch estimation.
-    """
-    mass = np.asarray(special.ndtr((highs - means) / stds))
-    np.subtract(mass, special.ndtr((lows - means) / stds), out=mass)
-    return np.clip(mass, 0.0, 1.0, out=mass)
+#: The normal-CDF interval mass now lives in :mod:`repro.core.fastpath` (the
+#: shared micro-kernel); this alias keeps the module-local name working.
+_normal_interval_mass = fastpath.normal_box_mass
 
 
 @register_estimator("streaming_ade")
@@ -129,6 +121,11 @@ class StreamingADE(StreamingEstimator):
     seed:
         Seed for tie-breaking randomness (unused in the default policy but
         kept for reproducible subclasses).
+    fastpath:
+        When true (default), batch estimation runs through the support-culling
+        query fast path (:mod:`repro.core.fastpath`), rebuilt lazily after
+        maintenance via a staleness counter.  Set ``False`` to pin the
+        estimator to the dense reference path.
     """
 
     name = "streaming_ade"
@@ -142,6 +139,7 @@ class StreamingADE(StreamingEstimator):
         smoothing_factor: float = 1.0,
         chunk_size: int = 256,
         seed: int | None = 0,
+        fastpath: bool = True,
     ) -> None:
         super().__init__()
         if max_kernels < 2:
@@ -161,6 +159,7 @@ class StreamingADE(StreamingEstimator):
         self.smoothing_factor = float(smoothing_factor)
         self.chunk_size = int(chunk_size)
         self.seed = seed
+        self.fastpath = bool(fastpath)
         if self.decay < 1.0:
             # Cap the sub-chunk length so decay**chunk stays above the scale
             # floor: stored weights are expressed relative to the lazy decay
@@ -184,6 +183,14 @@ class StreamingADE(StreamingEstimator):
         self._sum_w = 0.0
         self._sum_wx = np.empty(0)
         self._sum_wx2 = np.empty(0)
+        # Staleness counter for the query fast path: every maintenance step
+        # (chunk fold, per-tuple insert, compress, prune, restore) bumps the
+        # epoch; the support index + std cache is rebuilt lazily on the next
+        # estimate rather than updated per tuple.
+        self._maintenance_epoch = 0
+        self._support_cache: (
+            tuple[int, fastpath.KernelSupportIndex, np.ndarray] | None
+        ) = None
 
     # -- lifecycle ---------------------------------------------------------
     def fit(self, table: Table, columns: Sequence[str] | None = None) -> "StreamingADE":
@@ -218,8 +225,14 @@ class StreamingADE(StreamingEstimator):
         self._sum_w = 0.0
         self._sum_wx = np.zeros(self._dims)
         self._sum_wx2 = np.zeros(self._dims)
+        self._mark_stale()
         self._mark_fitted(columns, 0)
         return self
+
+    def _mark_stale(self) -> None:
+        """Bump the maintenance epoch: the synopsis changed under the index."""
+        self._maintenance_epoch += 1
+        self._support_cache = None
 
     # -- streaming maintenance -----------------------------------------------
     def insert(self, rows: np.ndarray) -> None:
@@ -287,6 +300,7 @@ class StreamingADE(StreamingEstimator):
 
     def _process_chunk(self, rows: np.ndarray) -> None:
         """Fold one sub-chunk into the model with a bounded number of numpy ops."""
+        self._mark_stale()
         m, d = rows.shape
         self._total_seen += float(m)
         self._domain_low = np.minimum(self._domain_low, rows.min(axis=0))
@@ -454,6 +468,7 @@ class StreamingADE(StreamingEstimator):
         return w, wx, wx2
 
     def _insert_one(self, row: np.ndarray) -> None:
+        self._mark_stale()
         if self.decay < 1.0 and self._weights.size:
             self._weights *= self.decay
             self._sum_w *= self.decay
@@ -545,6 +560,7 @@ class StreamingADE(StreamingEstimator):
         # Never prune everything: keep at least the heaviest kernel.
         if not keep.any():
             keep[int(np.argmax(self._weights))] = True
+        self._mark_stale()
         self._means = self._means[keep]
         self._variances = self._variances[keep]
         self._weights = self._weights[keep]
@@ -570,6 +586,7 @@ class StreamingADE(StreamingEstimator):
         (a kernel appearing in two close pairs) roll over to the next round.
         """
         while self._weights.size > target:
+            self._mark_stale()
             kernels = self._weights.size
             excess = kernels - target
             smoothing = self._smoothing_bandwidths()
@@ -629,6 +646,7 @@ class StreamingADE(StreamingEstimator):
             "smoothing_factor": self.smoothing_factor,
             "chunk_size": self.chunk_size,
             "seed": self.seed,
+            "fastpath": self.fastpath,
         }
 
     def _state(self) -> tuple[dict, dict]:
@@ -671,6 +689,7 @@ class StreamingADE(StreamingEstimator):
         self._sum_w = float(meta["sum_w"])
         self._pending = np.empty((self._chunk, self._dims))
         self._pending_count = 0
+        self._mark_stale()
 
     # -- model introspection -----------------------------------------------------
     @property
@@ -751,8 +770,10 @@ class StreamingADE(StreamingEstimator):
     def _estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
         """Mixture mass inside every query box, broadcast over all kernels.
 
-        The ``(block, K)`` buffer of per-kernel masses is kept bounded by
-        chunking over queries, so arbitrarily large batches stay in cache.
+        Selective batches run through the support-culling fast path
+        (:func:`repro.core.fastpath.estimate_boxes`); everything else — and
+        models built with ``fastpath=False`` — runs the dense reference path
+        on the same batched product-kernel CDF micro-kernel.
         """
         self.flush()
         n = lows.shape[0]
@@ -761,23 +782,49 @@ class StreamingADE(StreamingEstimator):
         total = float(self._weights.sum())
         if total <= 0:
             return np.zeros(n)
+        use_fastpath = self.fastpath and fastpath.fastpath_enabled()
+        if use_fastpath:
+            index, stds = self._support_state()
+        else:
+            # Dense-pinned models never pay for an index they will not read.
+            smoothing = self._smoothing_bandwidths()
+            stds = np.sqrt(self._variances + smoothing**2)
+
+        def axis_mass(
+            ids: np.ndarray | None, axis: int, low: np.ndarray, high: np.ndarray
+        ) -> np.ndarray:
+            means = self._means[:, axis] if ids is None else self._means[ids, axis]
+            scale = stds[:, axis] if ids is None else stds[ids, axis]
+            return _normal_interval_mass(
+                low[:, None], high[:, None], means[None, :], scale[None, :]
+            )
+
+        if use_fastpath:
+            culled = fastpath.estimate_boxes(
+                lows, highs, index, self._weights, total, axis_mass
+            )
+            if culled is not None:
+                return culled
+        return fastpath.weighted_box_masses(lows, highs, axis_mass, self._weights, total)
+
+    def _support_state(self) -> tuple["fastpath.KernelSupportIndex", np.ndarray]:
+        """Cached ``(support index, per-kernel stds)`` for the current epoch.
+
+        The per-kernel per-attribute standard deviation combines the kernel's
+        own spread with the global smoothing bandwidth; the effective support
+        radius is the Gaussian cull radius times that std.  Rebuilt lazily
+        whenever the maintenance epoch moved (never per tuple); the cache
+        tuple is swapped atomically so concurrent readers at worst rebuild.
+        """
+        cached = self._support_cache
+        if cached is not None and cached[0] == self._maintenance_epoch:
+            return cached[1], cached[2]
         smoothing = self._smoothing_bandwidths()
         stds = np.sqrt(self._variances + smoothing**2)
-        kernels = self._weights.size
-        out = np.empty(n)
-        block = max((1 << 21) // max(kernels, 1), 1)
-        for start in range(0, n, block):
-            stop = min(start + block, n)
-            mass = np.ones((stop - start, kernels))
-            for d in range(self._dims):
-                mass *= _normal_interval_mass(
-                    lows[start:stop, d, None],
-                    highs[start:stop, d, None],
-                    self._means[None, :, d],
-                    stds[None, :, d],
-                )
-            out[start:stop] = mass @ self._weights / total
-        return out
+        radius = fastpath.gaussian_cull_radius()
+        index = fastpath.KernelSupportIndex(self._means, stds * radius)
+        self._support_cache = (self._maintenance_epoch, index, stds)
+        return index, stds
 
     def density(self, points: np.ndarray) -> np.ndarray:
         """Evaluate the mixture density at ``points`` (``(m, d)`` matrix)."""

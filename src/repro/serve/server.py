@@ -205,6 +205,11 @@ class EstimatorServer:
         """
         generation, model = self._current
         plan = compile_queries(queries, model.columns)
+        if len(plan) == 0:
+            # Zero-row plans never touch the model and never enter the cache:
+            # caching them would spend LRU slots (and hash work) on answers
+            # that are a constant empty vector.
+            return generation, np.zeros(0)
         if self.cache_size == 0:
             return generation, model.estimate_batch(plan)
         key = self._plan_key(generation, plan)

@@ -31,6 +31,14 @@ Estimation modes (the ``combine`` parameter)
 
 The memory accounting (``memory_bytes``) charges the shard synopses only —
 the merged view is a cache rebuilt from shard state, not independent state.
+
+Query fast path: kernel-family shard synopses each carry their own
+support-culling index (:mod:`repro.core.fastpath`), built lazily inside the
+shard's ``estimate_batch`` and invalidated by that shard's own staleness
+counter — so a routed ``insert`` only invalidates the indexes of the shards
+that actually received rows, and a copy-on-write shard swap
+(:meth:`ShardedEstimator.with_shard`) keeps the untouched shards' indexes
+warm.
 """
 
 from __future__ import annotations

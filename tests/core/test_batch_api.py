@@ -87,7 +87,32 @@ class TestBatchScalarEquivalence:
 
     def test_empty_batch(self, name: str, small_table: Table) -> None:
         estimator = _fitted(name, small_table)
-        assert estimator.estimate_batch([]).shape == (0,)
+        for empty in ([], (), compile_queries([], estimator.columns)):
+            result = estimator.estimate_batch(empty)
+            assert result.shape == (0,)
+            assert result.dtype == np.float64
+        # The short-circuit must not swallow plan-routing bugs: an empty plan
+        # compiled for a different synopsis still raises.
+        foreign = CompiledQueries(("other",), np.zeros((0, 1)), np.zeros((0, 1)))
+        with pytest.raises(DimensionMismatchError):
+            estimator.estimate_batch(foreign)
+
+    def test_empty_batch_never_touches_the_model(self, name: str, small_table: Table) -> None:
+        """The short-circuit happens before plan compilation and estimation."""
+        estimator = _fitted(name, small_table)
+        calls = []
+        original = type(estimator)._estimate_batch
+
+        def spy(self, lows, highs):
+            calls.append(lows.shape)
+            return original(self, lows, highs)
+
+        type(estimator)._estimate_batch = spy
+        try:
+            estimator.estimate_batch([])
+        finally:
+            type(estimator)._estimate_batch = original
+        assert calls == []
 
     def test_cardinality_batch(self, name: str, small_table: Table, workload_1d) -> None:
         estimator = _fitted(name, small_table)

@@ -61,6 +61,16 @@ class TestServing:
         assert info.hits == 1 and info.misses == 1
         assert info.hit_rate == 0.5
 
+    def test_empty_batch_skips_model_and_cache(self, server) -> None:
+        """Zero-row plans answer an empty vector without polluting the cache."""
+        for empty in ([], compile_queries([], server.columns)):
+            result = server.estimate_batch(empty)
+            assert result.shape == (0,)
+            assert result.dtype == np.float64
+        info = server.cache_info()
+        assert info.size == 0
+        assert info.hits == 0 and info.misses == 0
+
     def test_cached_result_is_read_only(self, server, plan) -> None:
         server.estimate_batch(plan)
         result = server.estimate_batch(plan)
