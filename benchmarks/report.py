@@ -34,6 +34,20 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 __all__ = ["BenchReport", "bench_report", "RESULTS_DIR"]
 
 
+def _numpy_version() -> str | None:
+    """numpy's version string, or ``None`` when numpy is unavailable.
+
+    Recorded in every report envelope: numeric drift between two archived
+    runs is uninterpretable without knowing whether the kernel library
+    changed underneath the benchmark.
+    """
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dep of the repo
+        return None
+    return numpy.__version__
+
+
 def _jsonable(value: Any) -> Any:
     """Coerce numpy scalars and other numerics into plain JSON values."""
     if isinstance(value, (str, bool, int, float)) or value is None:
@@ -50,8 +64,9 @@ def _jsonable(value: Any) -> Any:
 class BenchReport:
     """Collects metrics and gate outcomes for one benchmark run."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, *, smoke: bool = False) -> None:
         self.name = str(name)
+        self.smoke = bool(smoke)
         self.metrics: dict[str, Any] = {}
         self.gates: dict[str, dict[str, Any]] = {}
         self.notes: list[str] = []
@@ -93,10 +108,12 @@ class BenchReport:
         payload = {
             "name": self.name,
             "passed": self.passed,
+            "smoke": self.smoke,
             "metrics": self.metrics,
             "gates": self.gates,
             "notes": self.notes,
             "python": platform.python_version(),
+            "numpy": _numpy_version(),
             "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         }
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -104,13 +121,15 @@ class BenchReport:
 
 
 @contextmanager
-def bench_report(name: str) -> Iterator[BenchReport]:
+def bench_report(name: str, *, smoke: bool = False) -> Iterator[BenchReport]:
     """Context manager: yield a :class:`BenchReport`, write it on exit.
 
     The file is written even when the block raises (a failed gate assertion
-    must still leave its red record in the artifact).
+    must still leave its red record in the artifact).  ``smoke=True`` stamps
+    the envelope so archived trajectories can filter out non-gating runs on
+    shared CI hardware.
     """
-    rep = BenchReport(name)
+    rep = BenchReport(name, smoke=smoke)
     try:
         yield rep
     finally:

@@ -20,7 +20,10 @@ the relation: a :class:`~repro.shard.sharded.ShardedEstimator` fits one
 synopsis per hash partition in parallel, answers the same compiled plan
 (bitwise-equal to the monolithic histogram — the histogram family merges
 shard states exactly), and refreshes a single shard without touching the
-others.
+others.  The last section serves several synopses as *one* estimator: a
+drift-adaptive :class:`~repro.ensemble.EnsembleEstimator` combines a
+weighted pool of experts and reweights them from query feedback
+(``examples/ensemble_drift.py`` is the full drifting-stream walkthrough).
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from pathlib import Path
 
 from repro import (
     AdaptiveKDEEstimator,
+    EnsembleEstimator,
     EquiDepthHistogram,
     EstimatorServer,
     ModelStore,
@@ -164,6 +168,32 @@ def main() -> None:
     table.append_matrix(table.as_matrix()[:1_000])  # new rows arrive ...
     sharded.refit_shard(2, table)                   # ... refresh one shard only
     print(f"refreshed shard 2 only; synopsis now models {sharded.row_count} rows")
+
+    # 8. The ensemble: several registry synopses served as one estimator.
+    #    estimate_batch is the weight-normalised convex combination of every
+    #    expert's answer; observe() feeds true selectivities back and the
+    #    AddExp policy shifts weight onto whichever expert the workload (and,
+    #    on a stream, the current drift phase) favours.  See
+    #    examples/ensemble_drift.py for the spawn/prune lifecycle in action.
+    ensemble = EnsembleEstimator(
+        experts=[
+            {"name": "kde", "sample_size": 512, "seed": 1},
+            {"name": "equidepth", "buckets": 64},
+            {"name": "reservoir_sampling", "sample_size": 512, "seed": 2},
+        ],
+        seed=0,
+    ).fit(table)
+    print()
+    before = evaluate_estimator(table, ensemble, plan).mean_relative_error()
+    print(f"ensemble weights before feedback: {ensemble.weights.round(3).tolist()}")
+    for _ in range(20):
+        ensemble.observe(plan, truths)
+    after = evaluate_estimator(table, ensemble, plan).mean_relative_error()
+    print(f"ensemble weights after feedback:  {ensemble.weights.round(3).tolist()}")
+    print(
+        f"ensemble rel_err_mean: {before:.3f} (uniform weights) -> {after:.3f} "
+        "(weight shifted onto the most accurate expert)"
+    )
 
 
 if __name__ == "__main__":

@@ -68,6 +68,7 @@ from repro.core.fastpath import (
 )
 from repro.core.feedback import FeedbackAdaptiveEstimator
 from repro.core.kde import KDESelectivityEstimator
+from repro.core.resolve import resolve_estimator
 from repro.core.kernels import (
     BiweightKernel,
     EpanechnikovKernel,
@@ -96,10 +97,20 @@ from repro.data.generators import (
 from repro.data.streams import (
     DataStream,
     gradual_drift_stream,
+    rotating_drift_stream,
     stationary_stream,
     sudden_drift_stream,
 )
 from repro.engine.catalog import Catalog
+from repro.ensemble import (
+    EnsembleEstimator,
+    ExpertPool,
+    WeightedExpert,
+    WeightPolicy,
+    available_policies,
+    create_policy,
+    register_policy,
+)
 from repro.engine.executor import EvaluationResult, Executor, evaluate_estimator
 from repro.engine.optimizer import JoinSpec, Optimizer, Plan, plan_regret
 from repro.engine.table import ColumnStats, Table
@@ -163,6 +174,15 @@ __all__ = [
     "create_estimator",
     "available_estimators",
     "estimator_from_config",
+    "resolve_estimator",
+    # expert ensemble
+    "EnsembleEstimator",
+    "ExpertPool",
+    "WeightedExpert",
+    "WeightPolicy",
+    "register_policy",
+    "create_policy",
+    "available_policies",
     # query fast path
     "KernelSupportIndex",
     "fastpath_enabled",
@@ -231,6 +251,7 @@ __all__ = [
     "stationary_stream",
     "sudden_drift_stream",
     "gradual_drift_stream",
+    "rotating_drift_stream",
     "RangeQuery",
     "Interval",
     "QueryRegion",

@@ -41,11 +41,10 @@ from repro.core.estimator import (
     FLOAT_BYTES,
     FeedbackEstimator,
     SelectivityEstimator,
-    create_estimator,
-    estimator_from_config,
     register_estimator,
 )
 from repro.core.kde import KDESelectivityEstimator
+from repro.core.resolve import resolve_estimator
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
@@ -127,13 +126,9 @@ class FeedbackAdaptiveEstimator(FeedbackEstimator):
             raise InvalidParameterError("recency_halflife must be positive")
         if bias_learning_rate < 0:
             raise InvalidParameterError("bias_learning_rate must be non-negative")
-        if base is None:
-            base = KDESelectivityEstimator(sample_size=512)
-        elif isinstance(base, str):
-            base = create_estimator(base)
-        elif isinstance(base, Mapping):
-            base = estimator_from_config(base)
-        self.base = base
+        self.base = resolve_estimator(
+            base, default=lambda: KDESelectivityEstimator(sample_size=512), what="base"
+        )
         self.max_regions = int(max_regions)
         self.learning_rate = float(learning_rate)
         self.recency_halflife = float(recency_halflife)

@@ -1,0 +1,56 @@
+"""Uniform resolution of estimator specifications.
+
+Wrapper estimators (the feedback wrapper, the sharded front end, the expert
+ensemble) all accept an inner estimator given as any of
+
+* a :class:`~repro.core.estimator.SelectivityEstimator` **instance**,
+* a registry **name** string (``"kde"``),
+* a ``{"name": ..., **params}`` **config mapping** — which is how snapshot
+  and describe round-trips reconstruct nested wrappers through
+  :func:`~repro.core.estimator.estimator_from_config`.
+
+:func:`resolve_estimator` is the one shared implementation of that
+convention, so arbitrarily nested wrapper configs (ensemble-of-feedback-of-
+kde) round-trip uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.core.errors import InvalidParameterError
+from repro.core.estimator import (
+    SelectivityEstimator,
+    create_estimator,
+    estimator_from_config,
+)
+
+__all__ = ["resolve_estimator"]
+
+
+def resolve_estimator(
+    spec: "SelectivityEstimator | Mapping[str, Any] | str | None",
+    default: Callable[[], SelectivityEstimator] | None = None,
+    *,
+    what: str = "estimator",
+) -> SelectivityEstimator:
+    """Resolve an estimator spec (instance / registry name / config mapping).
+
+    ``default`` is a zero-argument factory used when ``spec`` is ``None``;
+    without one, ``None`` is rejected.  ``what`` names the parameter in error
+    messages (``"base"``, ``"expert"``, ...).
+    """
+    if spec is None:
+        if default is None:
+            raise InvalidParameterError(f"{what} specification is required")
+        return default()
+    if isinstance(spec, SelectivityEstimator):
+        return spec
+    if isinstance(spec, str):
+        return create_estimator(spec)
+    if isinstance(spec, Mapping):
+        return estimator_from_config(spec)
+    raise InvalidParameterError(
+        f"{what} must be an estimator instance, registry name or config "
+        f"mapping, got {type(spec).__name__}"
+    )

@@ -5,13 +5,16 @@ may change over time.  The drift experiments (Fig. 5, Table 4) consume these
 streams, feeding each batch both to the exact engine table (ground truth) and
 to the streaming synopses under test.
 
-Three drift patterns are provided:
+Four drift patterns are provided:
 
 * :func:`stationary_stream` — no drift; sanity baseline.
 * :func:`sudden_drift_stream` — the distribution switches abruptly at given
   breakpoints (e.g. a fact table starts receiving a new product family).
 * :func:`gradual_drift_stream` — the cluster centres move continuously, so
   the distribution at the end of the stream shares no mass with the start.
+* :func:`rotating_drift_stream` — the centres orbit continuously (oscillate
+  in 1-D) *and* optionally jump at breakpoints: the mixed sudden+gradual
+  regime of the ensemble drift benchmark, where no single synopsis wins.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ __all__ = [
     "stationary_stream",
     "sudden_drift_stream",
     "gradual_drift_stream",
+    "rotating_drift_stream",
 ]
 
 
@@ -91,6 +95,23 @@ class DataStream:
         return np.vstack(list(self))
 
 
+def _resolve_breakpoints(drift_at: Sequence[float], batches: int) -> list[int]:
+    """Batch indices of the relative breakpoints, clamped and deduplicated.
+
+    Each breakpoint is clamped into ``[1, batches - 1]`` so a drift point
+    close to either end still fires inside the stream (``round()`` would
+    otherwise map e.g. ``0.999 * 100`` to batch 100, past the last batch),
+    and the set is deduplicated so two nearby fractions rounding to the same
+    batch cause one jump, not a silently doubled shift.
+    """
+    for point in drift_at:
+        if not 0.0 < point < 1.0:
+            raise InvalidParameterError("drift points must lie strictly inside (0, 1)")
+    return sorted(
+        {min(max(int(round(p * batches)), 1), max(batches - 1, 1)) for p in drift_at}
+    )
+
+
 def _mixture_batch(
     rng: np.random.Generator,
     batch_size: int,
@@ -132,21 +153,11 @@ def sudden_drift_stream(
     ``drift_at`` lists breakpoints as fractions of the stream length; after
     the k-th breakpoint the mixture centres are translated by ``k * shift``.
     """
-    for point in drift_at:
-        if not 0.0 < point < 1.0:
-            raise InvalidParameterError("drift points must lie strictly inside (0, 1)")
     base = np.random.default_rng(seed)
     centers = base.uniform(0.0, 5.0, size=(3, dimensions))
     stds = np.full((3, dimensions), 0.5)
     weights = np.array([0.5, 0.3, 0.2])
-    # Clamp each breakpoint into [1, batches - 1] so a drift point close to
-    # either end still fires inside the stream (round() would otherwise map
-    # e.g. 0.999 * 100 to batch 100, past the last batch), and deduplicate so
-    # two nearby fractions rounding to the same batch cause one jump, not a
-    # silently doubled shift.
-    breakpoints = sorted(
-        {min(max(int(round(p * batches)), 1), max(batches - 1, 1)) for p in drift_at}
-    )
+    breakpoints = _resolve_breakpoints(drift_at, batches)
 
     def generate(index: int, rng: np.random.Generator) -> np.ndarray:
         jumps = sum(1 for b in breakpoints if index >= b)
@@ -173,3 +184,48 @@ def gradual_drift_stream(
         return _mixture_batch(rng, batch_size, centers + progress * total_shift, stds, weights)
 
     return DataStream(dimensions, batch_size, batches, generate, seed=seed, name="gradual_drift")
+
+
+def rotating_drift_stream(
+    dimensions: int = 1,
+    batch_size: int = 500,
+    batches: int = 100,
+    radius: float = 6.0,
+    revolutions: float = 1.0,
+    drift_at: Sequence[float] = (),
+    shift: float = 8.0,
+    seed: int | None = 0,
+) -> DataStream:
+    """A stream whose centres orbit continuously and may also jump suddenly.
+
+    The mixture centres move on a circle of ``radius`` in the first two
+    attributes (completing ``revolutions`` turns over the stream); in 1-D the
+    rotation degenerates to a sinusoidal oscillation of amplitude
+    ``radius``.  ``drift_at`` optionally adds sudden jumps of ``shift`` at
+    relative breakpoints with the same clamping/deduplication guarantees as
+    :func:`sudden_drift_stream` — together they produce the mixed
+    sudden+gradual regime the drift-adaptive ensemble is benchmarked on.
+    """
+    if radius < 0.0:
+        raise InvalidParameterError("radius must be non-negative")
+    base = np.random.default_rng(seed)
+    centers = base.uniform(0.0, 5.0, size=(3, dimensions))
+    stds = np.full((3, dimensions), 0.5)
+    weights = np.array([0.5, 0.3, 0.2])
+    breakpoints = _resolve_breakpoints(drift_at, batches)
+
+    def generate(index: int, rng: np.random.Generator) -> np.ndarray:
+        progress = index / max(batches - 1, 1)
+        angle = 2.0 * np.pi * revolutions * progress
+        moved = centers.copy()
+        if dimensions >= 2:
+            moved[:, 0] += radius * np.cos(angle)
+            moved[:, 1] += radius * np.sin(angle)
+        else:
+            moved[:, 0] += radius * np.sin(angle)
+        jumps = sum(1 for b in breakpoints if index >= b)
+        return _mixture_batch(rng, batch_size, moved + jumps * shift, stds, weights)
+
+    return DataStream(
+        dimensions, batch_size, batches, generate, seed=seed, name="rotating_drift"
+    )

@@ -1,0 +1,237 @@
+"""Weighted experts and the deterministic pool lifecycle.
+
+:class:`WeightedExpert` pairs one synopsis with its ensemble weight and the
+per-expert error bookkeeping the policies consult.  :class:`ExpertPool`
+implements the AddExp lifecycle around a list of such experts:
+
+* **weight decay** — each feedback round maps observed per-expert losses to
+  new weights through a :class:`~repro.ensemble.policy.WeightPolicy` and
+  renormalises;
+* **spawn** — when the *ensemble's* exponentially windowed loss stays above
+  ``spawn_threshold`` (and the cooldown since the last spawn has elapsed),
+  the pool requests a new expert, admitted at ``gamma`` of the total weight;
+* **prune** — before a spawn would exceed ``max_experts``, the ``weakest``
+  (lowest-weight) or ``oldest`` (earliest-born) expert is evicted.
+
+Everything is deterministic and seedable: the only randomness is the pool's
+own generator, used to derive seeds for spawned experts, and its full
+bit-generator state travels in snapshots so a restored ensemble spawns the
+same experts a live one would have.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.core.estimator import SelectivityEstimator
+from repro.ensemble.policy import WeightPolicy
+
+__all__ = ["WeightedExpert", "ExpertPool"]
+
+#: Smoothing factor of the per-expert and ensemble loss EWMAs.
+LOSS_ALPHA = 0.3
+
+#: Weights are floored here before renormalisation so a long-bad expert can
+#: recover after a drift back instead of being frozen at exactly zero.
+_WEIGHT_FLOOR = 1e-12
+
+
+class WeightedExpert:
+    """One pool member: a synopsis, its weight and its error bookkeeping."""
+
+    __slots__ = ("estimator", "weight", "born", "loss_ewma", "rounds")
+
+    def __init__(
+        self, estimator: SelectivityEstimator, weight: float = 1.0, born: int = 0
+    ) -> None:
+        self.estimator = estimator
+        self.weight = float(weight)
+        self.born = int(born)
+        self.loss_ewma = 0.0
+        self.rounds = 0
+
+    def record_loss(self, loss: float) -> None:
+        """Fold one round's mean loss into the expert's windowed error."""
+        self.rounds += 1
+        if self.rounds == 1:
+            self.loss_ewma = float(loss)
+        else:
+            self.loss_ewma = (1.0 - LOSS_ALPHA) * self.loss_ewma + LOSS_ALPHA * float(
+                loss
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WeightedExpert({self.estimator.name!r}, weight={self.weight:.4f}, "
+            f"born={self.born})"
+        )
+
+
+class ExpertPool:
+    """Deterministic AddExp spawn/decay/prune lifecycle over weighted experts."""
+
+    def __init__(
+        self,
+        policy: WeightPolicy,
+        beta: float,
+        gamma: float,
+        max_experts: int,
+        spawn_threshold: float,
+        spawn_cooldown: int,
+        prune: str,
+        seed: int | None = 0,
+    ) -> None:
+        if not 0.0 < beta < 1.0:
+            raise InvalidParameterError("beta must lie strictly inside (0, 1)")
+        if not 0.0 < gamma < 1.0:
+            raise InvalidParameterError("gamma must lie strictly inside (0, 1)")
+        if max_experts < 1:
+            raise InvalidParameterError("max_experts must be positive")
+        if spawn_threshold <= 0.0:
+            raise InvalidParameterError("spawn_threshold must be positive")
+        if spawn_cooldown < 1:
+            raise InvalidParameterError("spawn_cooldown must be positive")
+        if prune not in ("weakest", "oldest"):
+            raise InvalidParameterError("prune must be 'weakest' or 'oldest'")
+        self.policy = policy
+        self.beta = float(beta)
+        self.gamma = float(gamma)
+        self.max_experts = int(max_experts)
+        self.spawn_threshold = float(spawn_threshold)
+        self.spawn_cooldown = int(spawn_cooldown)
+        self.prune = prune
+        self.seed = seed
+        self.experts: list[WeightedExpert] = []
+        self.spawn_history: list[dict[str, Any]] = []
+        self.round = 0
+        self.last_spawn_round = 0
+        self.spawn_cursor = 0
+        self.ensemble_loss_ewma = 0.0
+        self._rng = np.random.default_rng(seed)
+
+    # -- lifecycle -------------------------------------------------------------
+    def reset(self, estimators: Sequence[SelectivityEstimator]) -> None:
+        """Start a fresh lifecycle over ``estimators`` with uniform weights."""
+        self.experts = [WeightedExpert(est, weight=1.0) for est in estimators]
+        self._normalize()
+        self.spawn_history = []
+        self.round = 0
+        self.last_spawn_round = 0
+        self.spawn_cursor = 0
+        self.ensemble_loss_ewma = 0.0
+        self._rng = np.random.default_rng(self.seed)
+
+    def weight_vector(self) -> np.ndarray:
+        """Current (normalised) expert weights."""
+        return np.array([e.weight for e in self.experts], dtype=float)
+
+    def _normalize(self) -> None:
+        total = sum(e.weight for e in self.experts)
+        if total <= 0.0:
+            uniform = 1.0 / max(len(self.experts), 1)
+            for expert in self.experts:
+                expert.weight = uniform
+            return
+        for expert in self.experts:
+            expert.weight /= total
+
+    # -- one feedback round ----------------------------------------------------
+    def observe(self, losses: np.ndarray, ensemble_loss: float) -> bool:
+        """Apply one round of losses; return whether a spawn is warranted.
+
+        ``losses`` holds each expert's mean loss for the round (aligned with
+        ``self.experts``); ``ensemble_loss`` is the combined estimate's loss,
+        which drives the spawn decision — a new expert is requested only when
+        the *ensemble as a whole* keeps erring, not when one member does.
+        """
+        losses = np.asarray(losses, dtype=float)
+        if losses.shape != (len(self.experts),):
+            raise InvalidParameterError(
+                f"{losses.shape[0] if losses.ndim else 0} losses for "
+                f"{len(self.experts)} experts"
+            )
+        self.round += 1
+        for expert, loss in zip(self.experts, losses):
+            expert.record_loss(float(loss))
+        updated = self.policy.update(self.experts, losses, self.beta)
+        updated = np.maximum(np.asarray(updated, dtype=float), _WEIGHT_FLOOR)
+        for expert, weight in zip(self.experts, updated):
+            expert.weight = float(weight)
+        self._normalize()
+        if self.round == 1:
+            self.ensemble_loss_ewma = float(ensemble_loss)
+        else:
+            self.ensemble_loss_ewma = (
+                1.0 - LOSS_ALPHA
+            ) * self.ensemble_loss_ewma + LOSS_ALPHA * float(ensemble_loss)
+        return (
+            self.ensemble_loss_ewma > self.spawn_threshold
+            and self.round - self.last_spawn_round >= self.spawn_cooldown
+        )
+
+    # -- spawn / prune ----------------------------------------------------------
+    def next_spawn_spec(self, specs: Sequence[dict[str, Any]]) -> dict[str, Any]:
+        """The next spawn recipe: cycle the spec list, reseed seedable ones.
+
+        The derived seed comes from the pool's own generator, so the sequence
+        of spawned experts is a pure function of the pool seed and the
+        feedback stream — and survives snapshot round-trips via the persisted
+        generator state.
+        """
+        if not specs:
+            raise InvalidParameterError("the pool has no spawn specs")
+        spec = dict(specs[self.spawn_cursor % len(specs)])
+        self.spawn_cursor += 1
+        if "seed" in spec:
+            spec["seed"] = int(self._rng.integers(1, 2**31 - 1))
+        return spec
+
+    def admit(self, estimator: SelectivityEstimator, spec: dict[str, Any]) -> None:
+        """Prune to budget, then admit ``estimator`` at ``gamma`` total weight."""
+        while len(self.experts) >= self.max_experts:
+            self._prune_one()
+        total = sum(e.weight for e in self.experts)
+        newcomer = WeightedExpert(
+            estimator, weight=self.gamma * max(total, _WEIGHT_FLOOR), born=self.round
+        )
+        self.experts.append(newcomer)
+        self._normalize()
+        self.last_spawn_round = self.round
+        self.spawn_history.append(
+            {"round": self.round, "expert": str(spec.get("name", "?"))}
+        )
+
+    def _prune_one(self) -> None:
+        if len(self.experts) <= 1:
+            return
+        if self.prune == "weakest":
+            victim = int(np.argmin([e.weight for e in self.experts]))
+        else:  # oldest
+            victim = int(np.argmin([e.born for e in self.experts]))
+        del self.experts[victim]
+        self._normalize()
+
+    # -- persistence helpers -----------------------------------------------------
+    def meta(self) -> dict[str, Any]:
+        """JSON-serialisable lifecycle state (expert weights travel as arrays)."""
+        return {
+            "round": self.round,
+            "last_spawn_round": self.last_spawn_round,
+            "spawn_cursor": self.spawn_cursor,
+            "ensemble_loss_ewma": self.ensemble_loss_ewma,
+            "spawn_history": list(self.spawn_history),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def load_meta(self, meta: dict[str, Any]) -> None:
+        """Inverse of :meth:`meta`."""
+        self.round = int(meta["round"])
+        self.last_spawn_round = int(meta["last_spawn_round"])
+        self.spawn_cursor = int(meta["spawn_cursor"])
+        self.ensemble_loss_ewma = float(meta["ensemble_loss_ewma"])
+        self.spawn_history = [dict(entry) for entry in meta["spawn_history"]]
+        self._rng = np.random.default_rng(self.seed)
+        self._rng.bit_generator.state = meta["rng_state"]

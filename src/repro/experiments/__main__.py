@@ -34,7 +34,7 @@ import sys
 from contextlib import nullcontext
 from typing import Sequence
 
-from repro.experiments.runner import use_model_store, use_sharding
+from repro.experiments.runner import use_estimators, use_model_store, use_sharding
 from repro.experiments.suite import EXPERIMENTS, run_experiment
 from repro.persist.store import ModelStore
 
@@ -101,6 +101,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="row-routing policy used with --shards (default: hash)",
     )
     parser.add_argument(
+        "--estimator",
+        action="append",
+        metavar="NAME",
+        default=[],
+        help="append a registry estimator (default configuration) to every "
+        "accuracy-experiment line-up, e.g. --estimator ensemble; repeatable",
+    )
+    parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="experiment id (table1..table4, fig1..fig8) or 'all'",
@@ -130,8 +138,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         use_sharding(args.shards, args.partitioner) if args.shards else nullcontext()
     )
 
+    if args.estimator:
+        from repro.core.estimator import available_estimators
+
+        unknown = [n for n in args.estimator if n not in available_estimators()]
+        if unknown:
+            raise SystemExit(
+                f"unknown estimator(s) {unknown}; available: {available_estimators()}"
+            )
+    extra = use_estimators(args.estimator) if args.estimator else nullcontext()
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    with context, sharding:
+    with context, sharding, extra:
         for name in names:
             result = run_experiment(name, **(overrides if args.experiment != "all" else {}))
             print(result.render())

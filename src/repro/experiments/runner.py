@@ -33,9 +33,11 @@ __all__ = [
     "EstimatorSpec",
     "TableResult",
     "SeriesResult",
+    "extra_estimator_specs",
     "fit_timed",
     "fit_or_restore",
     "run_accuracy_comparison",
+    "use_estimators",
     "use_model_store",
     "use_sharding",
 ]
@@ -163,6 +165,48 @@ def use_sharding(shards: int, partitioner: str = "hash") -> Iterator[None]:
         yield
     finally:
         _ACTIVE_SHARDING = previous
+
+
+#: Extra registry estimators appended to the standard line-up (CLI --estimator).
+_ACTIVE_EXTRA_ESTIMATORS: tuple[str, ...] = ()
+
+
+@contextmanager
+def use_estimators(names: Sequence[str]) -> Iterator[None]:
+    """Append registry estimators to every accuracy-experiment line-up.
+
+    Inside the context, :func:`extra_estimator_specs` yields one
+    default-configuration spec per name, and the experiment suite appends
+    them to its budget-matched line-up — this is what the experiment CLI's
+    ``--estimator NAME`` flag activates (e.g. ``--estimator ensemble`` to
+    score the expert ensemble against every table/figure).  The default
+    line-up is untouched outside the context, so pinned row counts in the
+    experiment tests stay stable.
+    """
+    from repro.core.estimator import available_estimators
+
+    global _ACTIVE_EXTRA_ESTIMATORS
+    unknown = [n for n in names if n not in available_estimators()]
+    if unknown:
+        raise KeyError(
+            f"unknown estimator(s) {unknown}; available: {available_estimators()}"
+        )
+    previous = _ACTIVE_EXTRA_ESTIMATORS
+    _ACTIVE_EXTRA_ESTIMATORS = tuple(names)
+    try:
+        yield
+    finally:
+        _ACTIVE_EXTRA_ESTIMATORS = previous
+
+
+def extra_estimator_specs() -> list[EstimatorSpec]:
+    """Specs of the estimators added by :func:`use_estimators` (default none)."""
+    from repro.core.estimator import create_estimator
+
+    return [
+        EstimatorSpec(name, lambda n=name: create_estimator(n))
+        for name in _ACTIVE_EXTRA_ESTIMATORS
+    ]
 
 
 def _apply_sharding(estimator: SelectivityEstimator) -> SelectivityEstimator:

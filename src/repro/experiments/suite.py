@@ -53,12 +53,14 @@ from repro.data.generators import (
 from repro.data.streams import sudden_drift_stream
 from repro.engine.catalog import Catalog
 from repro.engine.executor import evaluate_estimator
+from repro.ensemble import EnsembleEstimator
 from repro.engine.optimizer import JoinSpec, Optimizer, plan_regret
 from repro.engine.table import Table
 from repro.experiments.runner import (
     EstimatorSpec,
     SeriesResult,
     TableResult,
+    extra_estimator_specs,
     fit_or_restore,
 )
 from repro.metrics.errors import integrated_squared_error
@@ -105,6 +107,10 @@ def _budgeted_specs(budget_bytes: int, dimensions: int) -> list[EstimatorSpec]:
     buckets = max(budget_floats // (4 * dimensions), 4)
     coefficients = max(budget_floats // (2 * dimensions) // 2, 2)
     kernels = max(budget_floats // (2 * dimensions + 1), 4)
+    # CLI --estimator overlay: opted-in registry estimators ride along with
+    # default configurations (no budget matching — their rows are labelled by
+    # registry name, so the comparison is explicit, not silent).
+    extras = extra_estimator_specs()
     return [
         EstimatorSpec(
             "ade_adaptive",
@@ -128,6 +134,7 @@ def _budgeted_specs(budget_bytes: int, dimensions: int) -> list[EstimatorSpec]:
             "grid", lambda b=budget_bytes: GridHistogram(budget_bytes=b)
         ),
         EstimatorSpec("independence", lambda: IndependenceEstimator()),
+        *extras,
     ]
 
 
@@ -453,6 +460,22 @@ def fig5_drift(
     landmark = StreamingADE(max_kernels=budget, decay=1.0)
     decayed_sample = ReservoirSamplingEstimator(sample_size=budget, decay=True)
     uniform_sample = ReservoirSamplingEstimator(sample_size=budget, decay=False)
+    # The drift-adaptive ensemble holds one expert per adaptation speed and
+    # reweights them from the same evaluation feedback the figure reports —
+    # it should track whichever expert the current drift phase favours.
+    ensemble = EnsembleEstimator(
+        experts=[
+            {
+                "name": "streaming_ade",
+                "max_kernels": budget,
+                "decay": 0.5 ** (1.0 / reference_window),
+            },
+            {"name": "streaming_ade", "max_kernels": budget, "decay": 1.0},
+            {"name": "reservoir_sampling", "sample_size": budget, "decay": True},
+        ],
+        seed=seed,
+    )
+    ensemble.start(columns)
     for estimator in (adaptive, landmark, decayed_sample, uniform_sample):
         estimator.start(columns)
     static: KDESelectivityEstimator | None = None
@@ -470,7 +493,7 @@ def fig5_drift(
     rng = np.random.default_rng(seed + 7)
 
     for index, batch in enumerate(stream):
-        for estimator in (adaptive, landmark, decayed_sample, uniform_sample):
+        for estimator in (adaptive, landmark, decayed_sample, uniform_sample, ensemble):
             estimator.insert(batch)
         window_rows.append(batch)
         recent = np.vstack(window_rows)[-reference_window:]
@@ -491,9 +514,13 @@ def fig5_drift(
             ("reservoir_decayed", decayed_sample),
             ("reservoir_uniform", uniform_sample),
             ("static_kde", static),
+            ("ensemble", ensemble),
         ):
             evaluation = evaluate_estimator(reference, estimator, workload, name=label)
             result.add_point(label, evaluation.mean_relative_error())
+        # Feedback strictly *after* this evaluation point: the ensemble is
+        # scored on the same footing as the other synopses, then learns.
+        ensemble.observe(workload, reference.true_selectivities(workload))
     return result
 
 

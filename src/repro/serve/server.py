@@ -113,6 +113,8 @@ class EstimatorServer:
         self._cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._generation_swaps = 0
+        self._cache_invalidations = 0
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -169,6 +171,8 @@ class EstimatorServer:
                 ),
                 "cached_plans": len(self._cache),
                 "cache_capacity": self.cache_size,
+                "generation_swaps": self._generation_swaps,
+                "cache_invalidations": self._cache_invalidations,
             }
         if isinstance(model, ShardedEstimator):
             info["shards"] = model.shard_count
@@ -279,11 +283,50 @@ class EstimatorServer:
         with self._lock:
             generation = self._current[0] + 1
             self._current = (generation, model)
-            for key in [k for k in self._cache if k[0] != generation]:
+            self._generation_swaps += 1
+            stale = [k for k in self._cache if k[0] != generation]
+            self._cache_invalidations += len(stale)
+            for key in stale:
                 del self._cache[key]
         if self.store is not None and self.model_name:
             self.store.publish(self.model_name, model)
         return generation
+
+    def observe(
+        self,
+        queries: Sequence[RangeQuery] | CompiledQueries,
+        true_fractions: Sequence[float],
+    ) -> int:
+        """Apply query feedback to the served model and publish the result.
+
+        The copy-on-write analogue of :meth:`publish` for feedback traffic:
+        the served model is checked out, told the true selectivities
+        (``observe`` on an ensemble, per-query ``feedback`` on any other
+        :class:`~repro.core.estimator.FeedbackEstimator`), and published back
+        — so a weight/bucket update bumps the generation and invalidates
+        every cached plan of the superseded version.  Returns the new
+        generation.
+        """
+        from repro.core.estimator import FeedbackEstimator  # local: narrow import
+
+        with self._swap_lock:
+            model = self.checkout()
+            if hasattr(model, "observe"):
+                model.observe(queries, true_fractions)
+            elif isinstance(model, FeedbackEstimator):
+                plan = compile_queries(queries, model.columns)
+                truths = np.asarray(true_fractions, dtype=float)
+                if len(plan) != truths.shape[0]:
+                    raise InvalidParameterError(
+                        "queries and true_fractions must have equal length"
+                    )
+                for query, truth in zip(plan.to_queries(), truths):
+                    model.feedback(query, float(truth))
+            else:
+                raise InvalidParameterError(
+                    f"served model {model.name!r} does not accept query feedback"
+                )
+            return self.publish(model)
 
     # -- per-shard updates (sharded models) ------------------------------------
     def _require_sharded(self) -> "ShardedEstimator":

@@ -57,10 +57,10 @@ from repro.core.errors import (
 from repro.core.estimator import (
     SelectivityEstimator,
     StreamingEstimator,
-    create_estimator,
     estimator_from_config,
     register_estimator,
 )
+from repro.core.resolve import resolve_estimator
 from repro.engine.table import Table
 from repro.shard.parallel import ShardExecutor
 from repro.shard.partition import Partitioner, make_partitioner, partition_table
@@ -128,17 +128,7 @@ class ShardedEstimator(StreamingEstimator):
             raise InvalidParameterError(
                 "combine must be 'auto', 'weighted' or 'merge'"
             )
-        if isinstance(base, str):
-            template = create_estimator(base)
-        elif isinstance(base, Mapping):
-            template = estimator_from_config(base)
-        elif isinstance(base, SelectivityEstimator):
-            template = base
-        else:
-            raise InvalidParameterError(
-                "base must be an estimator instance, registry name or config "
-                f"mapping, got {type(base).__name__}"
-            )
+        template = resolve_estimator(base, what="base")
         if isinstance(template, ShardedEstimator):
             raise InvalidParameterError("sharded estimators cannot be nested")
         if combine == "merge" and not template.supports_merge:

@@ -4,11 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.core.errors import InvalidParameterError
 from repro.data.streams import (
     DataStream,
     gradual_drift_stream,
+    rotating_drift_stream,
     stationary_stream,
     sudden_drift_stream,
 )
@@ -90,6 +93,67 @@ class TestGradualDrift:
         # Monotone (up to sampling noise) rather than a single jump.
         diffs = np.diff(means)
         assert np.mean(diffs > -0.5) > 0.8
+
+
+class TestRotatingDrift:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        dimensions=st.integers(min_value=1, max_value=3),
+        batch_size=st.integers(min_value=10, max_value=200),
+        batches=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_shapes_and_count_for_any_configuration(
+        self, dimensions: int, batch_size: int, batches: int, seed: int
+    ) -> None:
+        stream = rotating_drift_stream(
+            dimensions=dimensions, batch_size=batch_size, batches=batches, seed=seed
+        )
+        produced = list(stream)
+        assert len(produced) == batches
+        assert all(batch.shape == (batch_size, dimensions) for batch in produced)
+        assert np.isfinite(np.vstack(produced)).all()
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_reproducible_given_seed(self, seed: int) -> None:
+        kwargs = dict(batch_size=50, batches=4, drift_at=(0.5,), seed=seed)
+        np.testing.assert_array_equal(
+            rotating_drift_stream(**kwargs).materialize(),
+            rotating_drift_stream(**kwargs).materialize(),
+        )
+
+    def test_rotation_oscillates_in_one_dimension(self) -> None:
+        # Half a revolution with no jumps: the mean rises by ~radius at the
+        # quarter turn (sin peak) and returns near the start at the end.
+        stream = rotating_drift_stream(
+            batch_size=2000, batches=9, radius=4.0, revolutions=0.5, seed=11
+        )
+        means = [float(np.mean(b)) for b in stream]
+        assert means[4] - means[0] == pytest.approx(4.0, abs=1.0)
+        assert means[-1] - means[0] == pytest.approx(0.0, abs=1.0)
+
+    def test_breakpoint_adds_mean_shift_on_top_of_rotation(self) -> None:
+        # One full revolution: the rotation cancels between the first and
+        # last batch, so the surviving mean difference is the sudden jump.
+        stream = rotating_drift_stream(
+            batch_size=2000,
+            batches=11,
+            radius=2.0,
+            revolutions=1.0,
+            drift_at=(0.5,),
+            shift=8.0,
+            seed=12,
+        )
+        batches = list(stream)
+        jump = float(np.mean(batches[-1])) - float(np.mean(batches[0]))
+        assert jump == pytest.approx(8.0, abs=1.5)
+
+    def test_invalid_parameters_raise(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            rotating_drift_stream(radius=-1.0)
+        with pytest.raises(InvalidParameterError):
+            rotating_drift_stream(drift_at=(1.5,))
 
 
 class TestBreakpointClampingAndDeduplication:

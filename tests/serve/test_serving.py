@@ -22,6 +22,7 @@ from repro.core.kde import KDESelectivityEstimator
 from repro.core.streaming import StreamingADE
 from repro.data.generators import gaussian_mixture_table
 from repro.engine.table import Table
+from repro.ensemble import EnsembleEstimator
 from repro.persist.store import ModelStore
 from repro.serve import EstimatorServer
 from repro.workload.generators import UniformWorkload
@@ -264,6 +265,8 @@ class TestServerStats:
         assert stats["generation"] == 1
         assert stats["model"] == "streaming_ade"
         assert stats["columns"] == ["x0", "x1"]
+        assert stats["generation_swaps"] == 0
+        assert stats["cache_invalidations"] == 0
         json.dumps(stats)  # must be pure JSON for monitoring pipelines
 
     def test_generation_tracks_publishes(self, server, plan) -> None:
@@ -273,6 +276,8 @@ class TestServerStats:
         stats = server.stats()
         assert stats["generation"] == 2
         assert stats["cached_plans"] == 0  # publish invalidated the cache
+        assert stats["generation_swaps"] == 1
+        assert stats["cache_invalidations"] == 1  # the one cached plan was evicted
 
     def test_sharded_model_reports_shards(self, table, plan) -> None:
         from repro.shard.sharded import ShardedEstimator
@@ -286,3 +291,119 @@ class TestServerStats:
 
     def test_zero_traffic_hit_rate(self, server) -> None:
         assert server.stats()["hit_rate"] == 0.0
+
+
+class TestServedEnsembleFeedback:
+    """Satellite: weight updates through a served ensemble are real publishes.
+
+    ``EstimatorServer.observe`` must route feedback through the copy-on-write
+    protocol: the weight update happens on a private copy, the generation
+    bumps, and every cached plan of the superseded version is invalidated —
+    a reader can never be answered from a cache entry computed under stale
+    expert weights.
+    """
+
+    ROUNDS = 10
+    READERS = 3
+
+    def test_observe_bumps_generation_and_invalidates_cache(self, table, plan) -> None:
+        ensemble = EnsembleEstimator(seed=0).fit(table)
+        server = EstimatorServer(ensemble, cache_size=16)
+        server.estimate_batch(plan)  # one cached plan under generation 1
+        weights_before = np.array(server.model.weights)
+        truths = table.true_selectivities(plan)
+
+        generation = server.observe(plan, truths)
+
+        assert generation == 2 == server.generation
+        stats = server.stats()
+        assert stats["generation_swaps"] == 1
+        assert stats["cache_invalidations"] == 1
+        assert not np.array_equal(np.array(server.model.weights), weights_before)
+        assert all(key[0] == server.generation for key in server._cache)
+        # The served model answers under the *new* weights.
+        np.testing.assert_array_equal(
+            server.estimate_batch(plan), server.model.estimate_batch(plan)
+        )
+
+    def test_observe_feedback_estimator_fallback(self, table, plan) -> None:
+        from repro.core.feedback import FeedbackAdaptiveEstimator
+
+        model = FeedbackAdaptiveEstimator(
+            base=KDESelectivityEstimator(sample_size=128)
+        ).fit(table)
+        server = EstimatorServer(model, cache_size=4)
+        truths = table.true_selectivities(plan)
+        assert server.observe(plan, truths) == 2
+        assert server.model.feedback_count == len(plan)
+
+    def test_observe_rejects_feedback_free_model(self, table, plan) -> None:
+        server = EstimatorServer(KDESelectivityEstimator(sample_size=64).fit(table))
+        with pytest.raises(InvalidParameterError):
+            server.observe(plan, np.zeros(len(plan)))
+
+    def test_feedback_hammer(self, table, plan) -> None:
+        """Readers racing weight updates only ever see published weight states."""
+        truths = table.true_selectivities(plan)
+
+        # Serial replay: the correct answer of every feedback generation.
+        replay = EnsembleEstimator(seed=0).fit(table)
+        replay.flush()
+        expected: dict[int, bytes] = {1: replay.estimate_batch(plan).tobytes()}
+        for round_index in range(self.ROUNDS):
+            replay.observe(plan, truths)
+            replay.flush()
+            expected[round_index + 2] = replay.estimate_batch(plan).tobytes()
+
+        server = EstimatorServer(EnsembleEstimator(seed=0).fit(table), cache_size=16)
+        errors: list[str] = []
+        observed: list[tuple[int, bytes]] = []
+        observed_lock = threading.Lock()
+        done = threading.Event()
+
+        def writer() -> None:
+            try:
+                for _ in range(self.ROUNDS):
+                    server.observe(plan, truths)
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(f"writer: {error!r}")
+            finally:
+                done.set()
+
+        def reader() -> None:
+            try:
+                while not done.is_set() or len(observed) < 50:
+                    generation, result = server.estimate_batch_tagged(plan)
+                    payload = result.tobytes()
+                    with observed_lock:
+                        observed.append((generation, payload))
+                    if done.is_set() and len(observed) >= 50:
+                        break
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(f"reader: {error!r}")
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(self.READERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert observed, "readers never produced a result"
+
+        # Every result a reader saw is bitwise the serial-replay answer of
+        # the weight state that served it — never a stale-weight cache entry.
+        for generation, payload in observed:
+            assert generation in expected, f"unknown generation {generation}"
+            assert payload == expected[generation], (
+                f"generation {generation} served a result computed under "
+                f"different expert weights (stale cache entry)"
+            )
+
+        assert server.generation == self.ROUNDS + 1
+        assert server.estimate_batch(plan).tobytes() == expected[self.ROUNDS + 1]
+        stats = server.stats()
+        assert stats["generation_swaps"] == self.ROUNDS
+        assert stats["cache_invalidations"] >= 1
+        assert all(key[0] == server.generation for key in server._cache)

@@ -54,6 +54,9 @@ WEIGHTED_TOLERANCE: dict[str, float] = {
     "st_histogram": 0.08,
     "sampling": 0.08,
     "reservoir_sampling": 0.08,
+    # A convex combination of its experts: its deviation is bounded by the
+    # worst member family (the samplers).
+    "ensemble": 0.08,
 }
 
 EXACT = {"equiwidth", "equidepth", "grid"}
