@@ -24,6 +24,10 @@ others.  The last section serves several synopses as *one* estimator: a
 drift-adaptive :class:`~repro.ensemble.EnsembleEstimator` combines a
 weighted pool of experts and reweights them from query feedback
 (``examples/ensemble_drift.py`` is the full drifting-stream walkthrough).
+The final section moves beyond pure numeric data: a schema-declared table
+with dictionary-encoded categorical and string columns answers typed
+predicates (IN sets, string prefixes) through the very same numeric
+synopses, by lowering each typed query onto disjoint code-range boxes.
 """
 
 from __future__ import annotations
@@ -34,17 +38,24 @@ from pathlib import Path
 
 from repro import (
     AdaptiveKDEEstimator,
+    Catalog,
     EnsembleEstimator,
     EquiDepthHistogram,
     EstimatorServer,
+    Interval,
     ModelStore,
     SamplingEstimator,
+    SetMembership,
     ShardedEstimator,
     StreamingADE,
+    StringPrefix,
+    TypedQuery,
+    TypedWorkload,
     UniformWorkload,
     compile_queries,
     evaluate_estimator,
     gaussian_mixture_table,
+    mixed_type_table,
     render_table,
     sudden_drift_stream,
 )
@@ -193,6 +204,47 @@ def main() -> None:
     print(
         f"ensemble rel_err_mean: {before:.3f} (uniform weights) -> {after:.3f} "
         "(weight shifted onto the most accurate expert)"
+    )
+
+    # 9. Typed predicates: categorical IN sets and string prefixes over a
+    #    schema-declared table.  Dictionaries are sorted, so values encode to
+    #    their rank and a prefix is one contiguous code interval; lowering
+    #    turns each typed query into disjoint numeric boxes the (numeric-only)
+    #    estimator core answers unchanged, then folds the per-box estimates
+    #    back per query.  The same numeric synopsis, no estimator changes.
+    shop = mixed_type_table(rows=30_000, seed=21, name="sales")
+    kinds = {c: shop.schema.kind(c).value for c in shop.schema.encoded_columns}
+    print()
+    print(f"relation {shop.name!r}: {shop.row_count} rows, encoded columns {kinds}")
+    catalog = Catalog()
+    catalog.add_table(shop)
+    catalog.attach_estimator(
+        shop.name,
+        EquiDepthHistogram(buckets=64),
+        columns=["amount", "region", "product"],
+    )
+    query = TypedQuery(
+        {
+            "amount": Interval(50.0, 400.0),
+            "region": SetMembership(["north", "south"]),
+            "product": StringPrefix("bio"),
+        }
+    )
+    estimate = catalog.estimate_selectivity(shop.name, query)
+    exact = float(shop.true_selectivities([query])[0])
+    print(
+        f"  amount∈[50,400] AND region IN {{north,south}} AND product LIKE 'bio%': "
+        f"estimate {estimate:.4f} vs exact {exact:.4f}"
+    )
+    typed_workload = TypedWorkload(
+        shop, attributes=["amount", "region", "product"], seed=23
+    ).generate(500)
+    estimates = catalog.estimate_batch(shop.name, typed_workload)
+    exacts = shop.true_selectivities(typed_workload)
+    mean_abs = float(abs(estimates - exacts).mean())
+    print(
+        f"  500 mixed typed queries answered in one batch, "
+        f"mean abs error {mean_abs:.4f}"
     )
 
 

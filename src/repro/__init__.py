@@ -50,6 +50,7 @@ from repro.core.errors import (
     NotFittedError,
     PersistenceError,
     ReproError,
+    SchemaError,
     StreamError,
 )
 from repro.core.estimator import (
@@ -91,6 +92,7 @@ from repro.data.generators import (
     gaussian_mixture_table,
     make_dataset,
     mixed_table,
+    mixed_type_table,
     uniform_table,
     zipf_table,
 )
@@ -112,8 +114,15 @@ from repro.ensemble import (
     register_policy,
 )
 from repro.engine.executor import EvaluationResult, Executor, evaluate_estimator
-from repro.engine.optimizer import JoinSpec, Optimizer, Plan, plan_regret
-from repro.engine.table import ColumnStats, Table
+from repro.engine.optimizer import (
+    JoinSpec,
+    Optimizer,
+    Plan,
+    estimate_join_selectivity,
+    exact_join_selectivity,
+    plan_regret,
+)
+from repro.engine.table import ColumnKind, ColumnStats, Table, TableSchema
 from repro.metrics.errors import (
     ErrorSummary,
     absolute_errors,
@@ -147,6 +156,7 @@ from repro.stream.windows import SlidingWindow
 from repro.workload.generators import (
     DataCenteredWorkload,
     SkewedWorkload,
+    TypedWorkload,
     UniformWorkload,
     WorkloadGenerator,
     generate_workload,
@@ -154,8 +164,12 @@ from repro.workload.generators import (
 from repro.workload.queries import (
     CompiledQueries,
     Interval,
+    LoweredQueries,
     QueryRegion,
     RangeQuery,
+    SetMembership,
+    StringPrefix,
+    TypedQuery,
     compile_queries,
 )
 
@@ -212,6 +226,8 @@ __all__ = [
     "SelfTuningHistogram",
     # engine
     "Table",
+    "TableSchema",
+    "ColumnKind",
     "ColumnStats",
     "Catalog",
     "Executor",
@@ -221,6 +237,8 @@ __all__ = [
     "JoinSpec",
     "Plan",
     "plan_regret",
+    "estimate_join_selectivity",
+    "exact_join_selectivity",
     # sharded estimation
     "ShardedEstimator",
     "ShardExecutor",
@@ -246,6 +264,7 @@ __all__ = [
     "correlated_table",
     "clustered_table",
     "mixed_table",
+    "mixed_type_table",
     "make_dataset",
     "DataStream",
     "stationary_stream",
@@ -253,14 +272,19 @@ __all__ = [
     "gradual_drift_stream",
     "rotating_drift_stream",
     "RangeQuery",
+    "TypedQuery",
     "Interval",
+    "SetMembership",
+    "StringPrefix",
     "QueryRegion",
     "CompiledQueries",
+    "LoweredQueries",
     "compile_queries",
     "WorkloadGenerator",
     "UniformWorkload",
     "DataCenteredWorkload",
     "SkewedWorkload",
+    "TypedWorkload",
     "generate_workload",
     # streams
     "ReservoirSampler",
@@ -284,5 +308,6 @@ __all__ = [
     "BudgetError",
     "CatalogError",
     "StreamError",
+    "SchemaError",
     "PersistenceError",
 ]

@@ -42,7 +42,7 @@ class Histogram1D:
         Row count per bucket (``len(edges) - 1`` values).
     """
 
-    __slots__ = ("edges", "counts", "total")
+    __slots__ = ("edges", "counts", "total", "_safe_widths", "_point_bucket", "_any_point")
 
     def __init__(self, edges: np.ndarray, counts: np.ndarray) -> None:
         edges = np.asarray(edges, dtype=float)
@@ -56,6 +56,11 @@ class Histogram1D:
         self.edges = edges
         self.counts = counts
         self.total = float(counts.sum())
+        # Static per-bucket geometry, hoisted out of selectivity_batch.
+        widths = edges[1:] - edges[:-1]
+        self._point_bucket = widths <= 0
+        self._any_point = bool(self._point_bucket.any())
+        self._safe_widths = np.where(widths > 0, widths, 1.0)
 
     @property
     def bucket_count(self) -> int:
@@ -74,26 +79,23 @@ class Histogram1D:
             return np.zeros(lows.shape[0])
         bucket_lows = self.edges[:-1]
         bucket_highs = self.edges[1:]
-        widths = bucket_highs - bucket_lows
-        covered = np.minimum(bucket_highs[None, :], highs[:, None]) - np.maximum(
-            bucket_lows[None, :], lows[:, None]
-        )
-        covered = np.clip(covered, 0.0, None)
-        # Degenerate buckets (repeated edges, e.g. heavy duplicates in
-        # equi-depth histograms) hold all their mass at a single value.
-        point_bucket = widths <= 0
-        fraction = np.where(
-            point_bucket[None, :],
-            0.0,
-            covered / np.where(widths > 0, widths, 1.0)[None, :],
-        )
-        point_hit = (
-            point_bucket[None, :]
-            & (bucket_lows[None, :] >= lows[:, None])
-            & (bucket_lows[None, :] <= highs[:, None])
-        )
-        fraction = np.where(point_hit, 1.0, fraction)
-        fraction = np.clip(fraction, 0.0, 1.0)
+        covered = np.minimum(bucket_highs[None, :], highs[:, None])
+        covered -= np.maximum(bucket_lows[None, :], lows[:, None])
+        np.clip(covered, 0.0, None, out=covered)
+        fraction = covered
+        fraction /= self._safe_widths[None, :]
+        if self._any_point:
+            # Degenerate buckets (repeated edges, e.g. heavy duplicates in
+            # equi-depth histograms) hold all their mass at a single value.
+            point_bucket = self._point_bucket
+            fraction[:, point_bucket] = 0.0
+            point_hit = (
+                point_bucket[None, :]
+                & (bucket_lows[None, :] >= lows[:, None])
+                & (bucket_lows[None, :] <= highs[:, None])
+            )
+            fraction = np.where(point_hit, 1.0, fraction)
+        np.clip(fraction, 0.0, 1.0, out=fraction)
         result = fraction @ self.counts / self.total
         return np.where(highs < lows, 0.0, result)
 
@@ -155,6 +157,30 @@ class _PerAttributeHistogramEstimator(SelectivityEstimator):
         missing = inside - counts.sum()
         if missing > 0 and counts.size:
             counts[-1] += missing
+        # np.histogram drops values sitting exactly on a repeated internal
+        # edge into the regular bucket to its right, but the read side
+        # (Histogram1D.selectivity_batch) serves a degenerate bucket's mass
+        # at its single point value.  Move the exact-duplicate mass into the
+        # point bucket so point queries — notably dictionary codes from the
+        # typed predicate lowering — see it.  Shards moving their own exact
+        # counts under a shared frame still sum to the monolithic build.
+        lefts = edges[:-1]
+        point = edges[1:] <= lefts
+        if point.any():
+            for value in np.unique(lefts[point]):
+                j = min(
+                    int(np.searchsorted(edges, value, side="right")) - 1,
+                    counts.size - 1,
+                )
+                if point[j]:
+                    continue  # closed right end: mass already in its point bucket
+                exact = float(np.count_nonzero(values == value))
+                if exact <= 0:
+                    continue
+                k = int(np.argmax(point & (lefts == value)))
+                moved = min(exact, counts[j])
+                counts[j] -= moved
+                counts[k] += moved
         return Histogram1D(edges, counts)
 
     def fit(self, table: Table, columns: Sequence[str] | None = None) -> "SelectivityEstimator":

@@ -36,6 +36,11 @@ class CatalogError(ReproError):
     """A table or column referenced in the catalog does not exist."""
 
 
+class SchemaError(ReproError):
+    """A typed-column operation does not match the table schema (unknown
+    dictionary value, predicate kind not valid for the column kind, ...)."""
+
+
 class StreamError(ReproError):
     """A streaming operation was used incorrectly (e.g. insert before fit)."""
 

@@ -28,7 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
-from repro.engine.table import Table
+from repro.engine.table import Table, TableSchema
 
 __all__ = [
     "uniform_table",
@@ -37,6 +37,7 @@ __all__ = [
     "correlated_table",
     "clustered_table",
     "mixed_table",
+    "mixed_type_table",
     "gaussian_mixture_density",
     "sample_gaussian_mixture",
     "DATASET_BUILDERS",
@@ -251,6 +252,69 @@ def mixed_table(
     )
 
 
+#: Prefix families used for the string column of :func:`mixed_type_table` —
+#: shared prefixes make prefix predicates select meaningful row groups.
+_PRODUCT_FAMILIES = ("auto", "bio", "chem", "data", "eco", "fin")
+
+#: Region base names for the categorical column of :func:`mixed_type_table`.
+_REGION_NAMES = (
+    "north", "south", "east", "west", "central",
+    "apac", "emea", "latam", "nordics", "midwest", "pacific", "atlantic",
+)
+
+
+def mixed_type_table(
+    rows: int,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "mixed_type",
+    regions: int = 12,
+    products: int = 120,
+) -> Table:
+    """A mixed-type table: numeric, categorical and string columns.
+
+    Attributes: ``amount`` (Zipf-skewed numeric), ``score`` (3-component
+    Gaussian mixture), ``region`` (categorical over ``regions`` skewed region
+    names) and ``product`` (string; ``products`` names drawn from prefix
+    families such as ``auto-0012``, so prefix predicates like ``auto-`` match
+    whole families).  The returned table carries a :class:`TableSchema`
+    declaring the non-numeric columns, dictionary-encoded on ingest.
+    """
+    if rows < 0:
+        raise InvalidParameterError("rows must be non-negative")
+    if regions < 1 or products < 1:
+        raise InvalidParameterError("regions and products must be positive")
+    rng = _rng(seed)
+    amount = zipf_table(rows, 1, theta=1.1, domain=1000, seed=rng).column("x0")
+    score = gaussian_mixture_table(
+        rows, 1, components=3, separation=4.0, seed=rng
+    ).column("x0")
+    region_names = [
+        _REGION_NAMES[i % len(_REGION_NAMES)]
+        + ("" if i < len(_REGION_NAMES) else f"-{i // len(_REGION_NAMES)}")
+        for i in range(regions)
+    ]
+    region_weights = 1.0 / np.arange(1, regions + 1)
+    region_weights /= region_weights.sum()
+    region = np.asarray(region_names, dtype=str)[
+        rng.choice(regions, size=rows, p=region_weights)
+    ]
+    product_names = [
+        f"{_PRODUCT_FAMILIES[i % len(_PRODUCT_FAMILIES)]}-{i:04d}"
+        for i in range(products)
+    ]
+    product_weights = 1.0 / np.arange(1, products + 1) ** 0.8
+    product_weights /= product_weights.sum()
+    product = np.asarray(product_names, dtype=str)[
+        rng.choice(products, size=rows, p=product_weights)
+    ]
+    schema = TableSchema({"region": "categorical", "product": "string"})
+    return Table(
+        name,
+        {"amount": amount, "score": score, "region": region, "product": product},
+        schema=schema,
+    )
+
+
 #: Named dataset registry used by experiment configurations.
 DATASET_BUILDERS = {
     "uniform": uniform_table,
@@ -258,6 +322,7 @@ DATASET_BUILDERS = {
     "zipf": zipf_table,
     "correlated": correlated_table,
     "clustered": clustered_table,
+    "mixed_type": mixed_type_table,
 }
 
 

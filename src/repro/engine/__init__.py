@@ -1,12 +1,21 @@
-"""Execution engine: tables, catalog, exact executor and toy optimizer."""
+"""Execution engine: tables, schema, catalog, exact executor and toy optimizer."""
 
 from repro.engine.catalog import Catalog
 from repro.engine.executor import EvaluationResult, Executor, QueryResult, evaluate_estimator
-from repro.engine.optimizer import JoinSpec, Optimizer, Plan, plan_regret
-from repro.engine.table import ColumnStats, Table
+from repro.engine.optimizer import (
+    JoinSpec,
+    Optimizer,
+    Plan,
+    estimate_join_selectivity,
+    exact_join_selectivity,
+    plan_regret,
+)
+from repro.engine.table import ColumnKind, ColumnStats, Table, TableSchema
 
 __all__ = [
     "Table",
+    "TableSchema",
+    "ColumnKind",
     "ColumnStats",
     "Catalog",
     "Executor",
@@ -17,4 +26,6 @@ __all__ = [
     "JoinSpec",
     "Plan",
     "plan_regret",
+    "estimate_join_selectivity",
+    "exact_join_selectivity",
 ]

@@ -16,14 +16,20 @@ without refitting — the statistics of a whole database survive a restart.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.errors import CatalogError
 from repro.core.estimator import SelectivityEstimator, StreamingEstimator
-from repro.engine.table import Table
-from repro.workload.queries import CompiledQueries, RangeQuery
+from repro.engine.table import Table, TableSchema
+from repro.workload.queries import (
+    CompiledQueries,
+    LoweredQueries,
+    RangeQuery,
+    TypedQuery,
+    compile_queries,
+)
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
     from repro.persist.store import ModelStore
@@ -129,22 +135,47 @@ class Catalog:
         self._estimators.pop(table_name, None)
 
     # -- estimation -----------------------------------------------------------
-    def estimate_selectivity(self, table_name: str, query: RangeQuery) -> float:
+    def estimate_selectivity(
+        self, table_name: str, query: "RangeQuery | TypedQuery"
+    ) -> float:
         """Selectivity estimate from the attached synopsis (exact if none)."""
         table = self.table(table_name)
         estimator = self._estimators.get(table_name)
         if estimator is None:
             return table.true_selectivity(query)
+        if isinstance(query, TypedQuery):
+            return float(self.estimate_batch(table_name, [query])[0])
         return estimator.estimate(query)
 
     def estimate_batch(
-        self, table_name: str, queries: Sequence[RangeQuery] | CompiledQueries
+        self,
+        table_name: str,
+        queries: "Sequence[RangeQuery | TypedQuery] | CompiledQueries | LoweredQueries",
     ) -> np.ndarray:
-        """Vector of selectivity estimates for a workload (exact if no synopsis)."""
+        """Vector of selectivity estimates for a workload (exact if no synopsis).
+
+        Typed predicates are lowered against the table's schema onto disjoint
+        numeric boxes here — estimators only ever see ordinary compiled
+        plans, so no synopsis implementation knows about dictionaries.
+        """
         table = self.table(table_name)
         estimator = self._estimators.get(table_name)
         if estimator is None:
             return table.true_selectivities(queries)
+        lowered: LoweredQueries | None = None
+        if isinstance(queries, LoweredQueries):
+            lowered = queries
+        elif not isinstance(queries, CompiledQueries):
+            query_list = list(queries)
+            if any(isinstance(q, TypedQuery) for q in query_list):
+                lowered = compile_queries(
+                    query_list, estimator.columns, schema=table._effective_schema()
+                )
+            else:
+                queries = query_list
+        if lowered is not None:
+            per_box = estimator.estimate_batch(lowered.plan)
+            return np.clip(lowered.reduce(per_box), 0.0, 1.0)
         return estimator.estimate_batch(queries)
 
     def estimate_cardinality(self, table_name: str, query: RangeQuery) -> float:
@@ -214,7 +245,13 @@ class Catalog:
         """
         published: dict[str, int] = {}
         for table_name in sorted(self._estimators):
-            version = store.publish(prefix + table_name, self._estimators[table_name])
+            table = self._tables.get(table_name)
+            schema = table.schema if table is not None else None
+            version = store.publish(
+                prefix + table_name,
+                self._estimators[table_name],
+                schema=schema.to_json() if schema is not None else None,
+            )
             published[table_name] = version.version
         return published
 
@@ -241,6 +278,17 @@ class Catalog:
                         f"store has no model {prefix + table_name!r} to restore"
                     )
                 continue
+            header = store.describe(prefix + table_name, version)
+            payload = header.get("schema")
+            if payload is not None:
+                saved_schema = TableSchema.from_json(payload)
+                table_schema = self.table(table_name).schema
+                if table_schema != saved_schema:
+                    raise CatalogError(
+                        f"snapshot of {table_name!r} was built against a "
+                        "different schema (dictionary drift); refit instead "
+                        "of restoring"
+                    )
             estimator = store.load(prefix + table_name, version)
             self.attach_fitted(table_name, estimator)
             restored.append(table_name)
@@ -254,6 +302,7 @@ class Catalog:
             result[name] = {
                 "rows": table.row_count,
                 "columns": list(table.column_names),
+                "schema": table.schema.to_json() if table.schema is not None else None,
                 "estimator": estimator.describe() if estimator else None,
             }
         return result

@@ -21,14 +21,24 @@ the evaluation.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.core.errors import CatalogError, InvalidParameterError
 from repro.engine.catalog import Catalog
+from repro.engine.table import Table
 from repro.workload.queries import RangeQuery
 
-__all__ = ["JoinSpec", "Plan", "Optimizer", "plan_regret"]
+__all__ = [
+    "JoinSpec",
+    "Plan",
+    "Optimizer",
+    "plan_regret",
+    "estimate_join_selectivity",
+    "exact_join_selectivity",
+]
 
 
 @dataclass(frozen=True)
@@ -45,16 +55,24 @@ class JoinSpec:
         Mapping from an unordered table pair (frozenset of two names) to the
         join predicate's selectivity (fraction of the cross product kept).
         Pairs not listed join with the default selectivity.
+    join_keys:
+        Mapping from an unordered table pair to ``{table: column}`` naming
+        the equi-join columns of that pair.  For pairs listed here (and not
+        overridden by an explicit selectivity), the optimizer *derives* the
+        join selectivity — from the attached synopses when estimating, from
+        exact column contents when costing truth — instead of falling back
+        to the default.
     default_join_selectivity:
-        Selectivity used for table pairs with no explicit entry (a cross
-        product would be 1.0; a typical foreign-key join is ``1/|dim|`` and
-        should be given explicitly).
+        Selectivity used for table pairs with neither an explicit entry nor
+        a join key (a cross product would be 1.0; a typical foreign-key join
+        is ``1/|dim|`` and should be given explicitly or via ``join_keys``).
     """
 
     tables: tuple[str, ...]
     filters: Mapping[str, RangeQuery]
     join_selectivities: Mapping[frozenset, float]
     default_join_selectivity: float = 1.0
+    join_keys: Mapping[frozenset, Mapping[str, str]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if len(self.tables) < 2:
@@ -66,6 +84,14 @@ class JoinSpec:
                 raise InvalidParameterError("join selectivity keys must be pairs of tables")
             if not 0.0 <= selectivity <= 1.0:
                 raise InvalidParameterError("join selectivities must lie in [0, 1]")
+        for pair, columns in self.join_keys.items():
+            if len(pair) != 2:
+                raise InvalidParameterError("join key entries must name pairs of tables")
+            if set(columns) != set(pair):
+                raise InvalidParameterError(
+                    f"join key columns for {sorted(pair)} must map exactly "
+                    "those two tables to their join columns"
+                )
 
     def join_selectivity(self, left: str, right: str) -> float:
         """Selectivity of the join predicate between two tables."""
@@ -86,10 +112,16 @@ class Plan:
 
 
 class Optimizer:
-    """Exhaustive left-deep join-order optimizer over a catalog."""
+    """Exhaustive left-deep join-order optimizer over a catalog.
 
-    def __init__(self, catalog: Catalog):
+    ``join_buckets`` controls the resolution of the bucketed join-selectivity
+    estimate used for :attr:`JoinSpec.join_keys` pairs (see
+    :func:`estimate_join_selectivity`).
+    """
+
+    def __init__(self, catalog: Catalog, join_buckets: int = 64):
         self.catalog = catalog
+        self.join_buckets = int(join_buckets)
 
     # -- cardinalities -----------------------------------------------------
     def _base_cardinality(self, spec: JoinSpec, table_name: str, use_estimates: bool) -> float:
@@ -101,8 +133,68 @@ class Optimizer:
             return self.catalog.estimate_selectivity(table_name, query) * table.row_count
         return self.catalog.true_selectivity(table_name, query) * table.row_count
 
-    def _order_cost(self, spec: JoinSpec, order: Sequence[str], use_estimates: bool) -> float:
+    def _pair_selectivity(
+        self,
+        spec: JoinSpec,
+        left: str,
+        right: str,
+        use_estimates: bool,
+        cache: dict,
+    ) -> float:
+        """Join selectivity of one table pair, resolved and memoised.
+
+        Resolution order: an explicit :attr:`JoinSpec.join_selectivities`
+        entry wins; otherwise a :attr:`JoinSpec.join_keys` pair is *derived*
+        (synopsis-backed when estimating and at least one synopsis is
+        attached, exact column contents when costing truth); only pairs with
+        neither fall back to the default selectivity.
+        """
+        pair = frozenset((left, right))
+        key = (pair, use_estimates)
+        if key in cache:
+            return cache[key]
+        if pair in spec.join_selectivities:
+            value = float(spec.join_selectivities[pair])
+        elif pair in spec.join_keys:
+            columns = spec.join_keys[pair]
+            if use_estimates:
+                if (
+                    self.catalog.estimator(left) is None
+                    and self.catalog.estimator(right) is None
+                ):
+                    # No synopsis anywhere on the pair: nothing to derive an
+                    # estimate from, keep the declared default.
+                    value = float(spec.default_join_selectivity)
+                else:
+                    value = estimate_join_selectivity(
+                        self.catalog,
+                        left,
+                        columns[left],
+                        right,
+                        columns[right],
+                        buckets=self.join_buckets,
+                    )
+            else:
+                value = exact_join_selectivity(
+                    self.catalog.table(left),
+                    columns[left],
+                    self.catalog.table(right),
+                    columns[right],
+                )
+        else:
+            value = float(spec.default_join_selectivity)
+        cache[key] = value
+        return value
+
+    def _order_cost(
+        self,
+        spec: JoinSpec,
+        order: Sequence[str],
+        use_estimates: bool,
+        cache: dict | None = None,
+    ) -> float:
         """Sum of intermediate result sizes of a left-deep join in this order."""
+        cache = cache if cache is not None else {}
         cardinalities = {t: self._base_cardinality(spec, t, use_estimates) for t in order}
         joined = [order[0]]
         current = cardinalities[order[0]]
@@ -110,7 +202,9 @@ class Optimizer:
         for next_table in order[1:]:
             selectivity = 1.0
             for member in joined:
-                selectivity *= spec.join_selectivity(member, next_table)
+                selectivity *= self._pair_selectivity(
+                    spec, member, next_table, use_estimates, cache
+                )
             current = current * cardinalities[next_table] * selectivity
             cost += current
             joined.append(next_table)
@@ -122,10 +216,11 @@ class Optimizer:
         for table in spec.tables:
             if table not in self.catalog:
                 raise CatalogError(f"join references unknown table {table!r}")
+        cache: dict = {}
         plans = []
         for order in itertools.permutations(spec.tables):
-            estimated = self._order_cost(spec, order, use_estimates=use_estimates)
-            true = self._order_cost(spec, order, use_estimates=False)
+            estimated = self._order_cost(spec, order, use_estimates=use_estimates, cache=cache)
+            true = self._order_cost(spec, order, use_estimates=False, cache=cache)
             plans.append(Plan(order, estimated, true))
         return plans
 
@@ -134,6 +229,120 @@ class Optimizer:
         plans = self.enumerate_plans(spec, use_estimates)
         key = (lambda p: p.estimated_cost) if use_estimates else (lambda p: p.true_cost)
         return min(plans, key=key)
+
+
+def exact_join_selectivity(
+    left: Table, left_column: str, right: Table, right_column: str
+) -> float:
+    """Exact equi-join selectivity: matches / (|left| * |right|).
+
+    Dictionary-encoded columns are decoded before comparison, so two tables
+    whose dictionaries assign different codes to the same strings still join
+    by value.  Joining a decoded column against a numeric one compares
+    strings against numbers and yields 0 — the typed surface makes that a
+    meaningless join, not an error, because exact costing must not throw
+    mid-enumeration.
+    """
+    if left.row_count == 0 or right.row_count == 0:
+        return 0.0
+
+    def _join_values(table: Table, column: str) -> np.ndarray:
+        schema = table.schema
+        if schema is not None and schema.is_encoded(column):
+            return table.decoded(column)
+        return table.column(column)
+
+    left_values = _join_values(left, left_column)
+    right_values = _join_values(right, right_column)
+    if left_values.dtype.kind != right_values.dtype.kind:
+        return 0.0
+    left_unique, left_counts = np.unique(left_values, return_counts=True)
+    right_unique, right_counts = np.unique(right_values, return_counts=True)
+    _, left_idx, right_idx = np.intersect1d(
+        left_unique, right_unique, assume_unique=True, return_indices=True
+    )
+    matches = float(np.sum(left_counts[left_idx] * right_counts[right_idx]))
+    return matches / (left.row_count * right.row_count)
+
+
+def estimate_join_selectivity(
+    catalog: Catalog,
+    left: str,
+    left_column: str,
+    right: str,
+    right_column: str,
+    buckets: int = 64,
+) -> float:
+    """Synopsis-backed equi-join selectivity over two joined columns.
+
+    The overlap of the two column domains is cut into ``buckets`` disjoint
+    ranges; each side's synopsis (via the catalog, so tables without one
+    answer exactly) supplies the per-bucket value-mass ``p_i``, and under the
+    classical uniform-distinct-spread assumption each bucket contributes
+    ``p_left_i * p_right_i / V_i`` with ``V_i`` the larger per-bucket
+    distinct count of the two sides.  On a foreign-key join this reduces to
+    the textbook ``1 / ndv(dimension key)`` regardless of fact-side skew.
+
+    Dictionary-encoded join columns estimate in code space, which is only
+    meaningful when both sides share one dictionary; mismatched encodings
+    fall back to the containment bound ``1 / max(ndv_left, ndv_right)``.
+    """
+    left_table = catalog.table(left)
+    right_table = catalog.table(right)
+    if left_table.row_count == 0 or right_table.row_count == 0:
+        return 0.0
+    left_stats = left_table.stats(left_column)
+    right_stats = right_table.stats(right_column)
+    left_ndv = max(left_stats.distinct, 1)
+    right_ndv = max(right_stats.distinct, 1)
+
+    def _dictionary(table: Table, column: str):
+        schema = table.schema
+        if schema is not None and schema.is_encoded(column):
+            return schema.dictionary(column)
+        return None
+
+    left_dict = _dictionary(left_table, left_column)
+    right_dict = _dictionary(right_table, right_column)
+    if left_dict != right_dict:
+        # Codes are not comparable across different dictionaries (or against
+        # raw numbers): assume key containment, every value of the
+        # narrower side finds partners spread over the wider side's domain.
+        return 1.0 / max(left_ndv, right_ndv)
+
+    low = max(left_stats.minimum, right_stats.minimum)
+    high = min(left_stats.maximum, right_stats.maximum)
+    if not (low <= high):  # disjoint domains (also catches NaN stats)
+        return 0.0
+
+    def _masses(table_name: str, column: str, lows, highs) -> np.ndarray:
+        queries = [
+            RangeQuery({column: (lo, hi)}) for lo, hi in zip(lows, highs)
+        ]
+        return np.asarray(catalog.estimate_batch(table_name, queries), dtype=float)
+
+    if high == low or left_stats.width <= 0 or right_stats.width <= 0:
+        # The overlap is a single value: sel = P_left(v) * P_right(v).
+        p_left = _masses(left, left_column, [low], [high])[0]
+        p_right = _masses(right, right_column, [low], [high])[0]
+        return float(np.clip(p_left * p_right, 0.0, 1.0))
+
+    buckets = max(int(buckets), 1)
+    edges = np.linspace(low, high, buckets + 1)
+    lows = edges[:-1].copy()
+    # Nudge interior lower bounds up so the closed buckets are disjoint.
+    lows[1:] = np.nextafter(lows[1:], np.inf)
+    highs = edges[1:]
+    p_left = _masses(left, left_column, lows, highs)
+    p_right = _masses(right, right_column, lows, highs)
+    widths = highs - edges[:-1]
+    per_bucket_values = np.maximum(
+        left_ndv * widths / left_stats.width,
+        right_ndv * widths / right_stats.width,
+    )
+    per_bucket_values = np.maximum(per_bucket_values, 1.0)
+    selectivity = float(np.sum(p_left * p_right / per_bucket_values))
+    return float(np.clip(selectivity, 0.0, 1.0))
 
 
 def plan_regret(optimizer: Optimizer, spec: JoinSpec) -> float:

@@ -45,7 +45,6 @@ from repro.core.kde import KDESelectivityEstimator
 from repro.core.streaming import StreamingADE
 from repro.data.generators import (
     correlated_table,
-    gaussian_mixture_density,
     gaussian_mixture_table,
     uniform_table,
     zipf_table,

@@ -54,12 +54,18 @@ def _shard_file(index: int) -> str:
 
 
 def save_sharded(
-    estimator: ShardedEstimator, directory: str | os.PathLike[str]
+    estimator: ShardedEstimator,
+    directory: str | os.PathLike[str],
+    schema: dict | None = None,
 ) -> Path:
     """Write ``estimator`` as a manifest directory (see module docstring).
 
-    The manifest is written last, so a crashed save never leaves a directory
-    that parses as a complete model.  Returns the manifest path.
+    ``schema`` (a ``TableSchema.to_json()`` payload, carrying its own
+    ``schema_version``) is embedded verbatim in the manifest so the
+    dictionaries of encoded columns travel with the sharded model; loaders
+    that predate the key ignore it.  The manifest is written last, so a
+    crashed save never leaves a directory that parses as a complete model.
+    Returns the manifest path.
     """
     if not isinstance(estimator, ShardedEstimator):
         raise PersistenceError(
@@ -94,6 +100,8 @@ def save_sharded(
             else None
         ),
     }
+    if schema is not None:
+        manifest["schema"] = dict(schema)
     temp_path = target / f".{MANIFEST_NAME}.{os.getpid()}.tmp"
     temp_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     manifest_path = target / MANIFEST_NAME

@@ -51,19 +51,27 @@ def _json_default(value: Any) -> Any:
 
 
 def save_estimator(
-    estimator: SelectivityEstimator, path: str | os.PathLike[str] | IO[bytes]
+    estimator: SelectivityEstimator,
+    path: str | os.PathLike[str] | IO[bytes],
+    schema: Mapping[str, Any] | None = None,
 ) -> None:
     """Write ``estimator`` as a single snapshot file at ``path``.
 
     The file is written through ``numpy.savez`` without pickle; the
     round-trip via :func:`load_estimator` reproduces ``estimate_batch``
-    output bitwise.  Parent directories are created.  (Writing is *not*
-    atomic — the :class:`~repro.persist.store.ModelStore` layers atomic
+    output bitwise.  ``schema`` (a ``TableSchema.to_json()`` payload, its own
+    ``schema_version`` inside) rides along in the header so dictionary-encoded
+    columns travel with the synopsis they were fitted on; readers that
+    predate it ignore the extra key, so the snapshot format version is
+    unchanged.  Parent directories are created.  (Writing is *not* atomic —
+    the :class:`~repro.persist.store.ModelStore` layers atomic
     write-then-rename publishing on top.)
     """
     state = estimator.state_dict()
     arrays = state.pop("arrays")
     header = {"format": FORMAT_VERSION, **state}
+    if schema is not None:
+        header["schema"] = dict(schema)
     encoded = np.frombuffer(
         json.dumps(header, default=_json_default).encode("utf-8"), dtype=np.uint8
     )

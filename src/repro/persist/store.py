@@ -129,8 +129,13 @@ class ModelStore:
         name: str,
         estimator: SelectivityEstimator,
         keep_versions: int | None = None,
+        schema: dict | None = None,
     ) -> ModelVersion:
         """Persist ``estimator`` as the next version of model ``name``.
+
+        ``schema`` (a ``TableSchema.to_json()`` payload) is embedded in the
+        snapshot header so dictionary-encoded columns travel with the model;
+        it is surfaced again by :meth:`describe`.
 
         The snapshot is written to a temporary file in the model directory
         and then *claimed* into its version slot with ``os.link``, which is
@@ -148,7 +153,7 @@ class ModelStore:
             version = (versions[-1] if versions else 0) + 1
             temp_path = model_dir / f".publish.{os.getpid()}.{id(estimator):x}.tmp"
             try:
-                save_estimator(estimator, temp_path)
+                save_estimator(estimator, temp_path, schema=schema)
                 while True:
                     final_path = self._version_path(name, version)
                     try:

@@ -392,6 +392,7 @@ def partition_table(
             Table(
                 f"{table.name}::shard{shard_id}",
                 {name: table.column(name)[mask] for name in table.column_names},
+                schema=table.schema,
             )
         )
     return shards

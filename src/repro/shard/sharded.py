@@ -328,6 +328,7 @@ class ShardedEstimator(StreamingEstimator):
         sub_table = Table(
             f"{table.name}::shard{shard_id}",
             {name: table.column(name)[mask] for name in table.column_names},
+            schema=table.schema,
         )
         fresh = _fit_one(self._clone_template(), sub_table, self._columns, self._frame)
         self._shards[shard_id] = fresh

@@ -3,6 +3,7 @@
 from repro.workload.generators import (
     DataCenteredWorkload,
     SkewedWorkload,
+    TypedWorkload,
     UniformWorkload,
     WorkloadGenerator,
     generate_workload,
@@ -10,20 +11,29 @@ from repro.workload.generators import (
 from repro.workload.queries import (
     CompiledQueries,
     Interval,
+    LoweredQueries,
     QueryRegion,
     RangeQuery,
+    SetMembership,
+    StringPrefix,
+    TypedQuery,
     compile_queries,
 )
 
 __all__ = [
     "Interval",
+    "SetMembership",
+    "StringPrefix",
     "RangeQuery",
+    "TypedQuery",
     "QueryRegion",
     "CompiledQueries",
+    "LoweredQueries",
     "compile_queries",
     "WorkloadGenerator",
     "UniformWorkload",
     "DataCenteredWorkload",
     "SkewedWorkload",
+    "TypedWorkload",
     "generate_workload",
 ]

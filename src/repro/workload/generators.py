@@ -28,13 +28,20 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
     from repro.engine.table import Table
-from repro.workload.queries import Interval, RangeQuery
+from repro.workload.queries import (
+    Interval,
+    RangeQuery,
+    SetMembership,
+    StringPrefix,
+    TypedQuery,
+)
 
 __all__ = [
     "WorkloadGenerator",
     "UniformWorkload",
     "DataCenteredWorkload",
     "SkewedWorkload",
+    "TypedWorkload",
     "generate_workload",
 ]
 
@@ -220,10 +227,71 @@ class SkewedWorkload(WorkloadGenerator):
         return float(rng.uniform(low, high))
 
 
+class TypedWorkload(UniformWorkload):
+    """Typed predicates matching the schema of a mixed-type table.
+
+    Numeric attributes get uniform-centred intervals exactly like
+    :class:`UniformWorkload`.  Categorical attributes get IN sets of up to
+    ``max_in_size`` dictionary values; string attributes get a prefix cut
+    from a randomly drawn dictionary entry (``max_prefix_length`` caps its
+    length).  Tables without a schema degrade to all-numeric behaviour, just
+    wrapped in :class:`~repro.workload.queries.TypedQuery` nodes.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        attributes: Sequence[str] | None = None,
+        query_dimensions: int | None = None,
+        volume_fraction: float = 0.1,
+        max_in_size: int = 4,
+        max_prefix_length: int | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(table, attributes, query_dimensions, volume_fraction, seed)
+        if max_in_size < 1:
+            raise InvalidParameterError("max_in_size must be positive")
+        if max_prefix_length is not None and max_prefix_length < 1:
+            raise InvalidParameterError("max_prefix_length must be positive")
+        self.max_in_size = int(max_in_size)
+        self.max_prefix_length = max_prefix_length
+
+    def _one_query(self, rng: np.random.Generator) -> TypedQuery:
+        schema = self.table.schema
+        constraints: dict[str, object] = {}
+        for attribute in self._pick_attributes(rng):
+            if schema is None or not schema.is_encoded(attribute):
+                low, high = self._domain[attribute]
+                width = (high - low) * self.volume_fraction
+                if width <= 0:
+                    width = max(abs(low), 1.0) * 1e-6
+                center = self._pick_center(attribute, rng)
+                constraints[attribute] = Interval(
+                    center - width / 2.0, center + width / 2.0
+                )
+                continue
+            dictionary = schema.dictionary(attribute)
+            from repro.engine.table import ColumnKind  # lazy: avoids a cycle
+
+            if schema.kind(attribute) is ColumnKind.STRING:
+                word = dictionary[int(rng.integers(0, len(dictionary)))]
+                cap = self.max_prefix_length or len(word)
+                length = int(rng.integers(1, max(min(cap, len(word)), 1) + 1))
+                constraints[attribute] = StringPrefix(word[:length])
+            else:
+                size = int(rng.integers(1, min(self.max_in_size, len(dictionary)) + 1))
+                chosen = rng.choice(len(dictionary), size=size, replace=False)
+                constraints[attribute] = SetMembership(
+                    [dictionary[int(i)] for i in chosen]
+                )
+        return TypedQuery(constraints)
+
+
 _WORKLOADS = {
     "uniform": UniformWorkload,
     "data_centered": DataCenteredWorkload,
     "skewed": SkewedWorkload,
+    "typed": TypedWorkload,
 }
 
 

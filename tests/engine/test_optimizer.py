@@ -2,13 +2,22 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
+from repro import create_estimator
 from repro.baselines.independence import IndependenceEstimator
 from repro.core.errors import CatalogError, InvalidParameterError
 from repro.data.generators import uniform_table, zipf_table
 from repro.engine.catalog import Catalog
-from repro.engine.optimizer import JoinSpec, Optimizer, plan_regret
+from repro.engine.optimizer import (
+    JoinSpec,
+    Optimizer,
+    estimate_join_selectivity,
+    exact_join_selectivity,
+    plan_regret,
+)
+from repro.engine.table import Table, TableSchema
 from repro.workload.queries import RangeQuery
 
 
@@ -198,6 +207,17 @@ class TestPlanRegretEdgeCases:
         )
         assert plan_regret(Optimizer(catalog), spec) == pytest.approx(1.0)
 
+    def test_join_key_validation(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            JoinSpec(("a", "b"), {}, {}, join_keys={frozenset(("a",)): {"a": "x"}})
+        with pytest.raises(InvalidParameterError):
+            JoinSpec(
+                ("a", "b"),
+                {},
+                {},
+                join_keys={frozenset(("a", "b")): {"a": "x", "c": "y"}},
+            )
+
     def test_adversarial_estimates_realise_regret_above_one(
         self, star_catalog, spec
     ) -> None:
@@ -216,3 +236,154 @@ class TestPlanRegretEdgeCases:
             != optimizer.best_plan(spec, use_estimates=False).order
         )
         assert plan_regret(optimizer, spec) > 1.0
+
+
+class TestJoinSelectivity:
+    """Exact and synopsis-backed equi-join selectivities."""
+
+    def test_exact_matches_brute_force(self) -> None:
+        rng = np.random.default_rng(5)
+        left = Table("l", {"k": rng.integers(0, 20, size=300).astype(float)})
+        right = Table("r", {"k": rng.integers(10, 30, size=200).astype(float)})
+        expected = float(
+            np.sum(left.column("k")[:, None] == right.column("k")[None, :])
+        ) / (300 * 200)
+        assert exact_join_selectivity(left, "k", right, "k") == pytest.approx(expected)
+
+    def test_exact_reduces_to_one_over_ndv_on_fk_join(self) -> None:
+        rng = np.random.default_rng(6)
+        dim = Table("dim", {"k": np.arange(500, dtype=float)})
+        fact = Table("fact", {"k": rng.integers(0, 500, size=4000).astype(float)})
+        assert exact_join_selectivity(fact, "k", dim, "k") == pytest.approx(1.0 / 500)
+
+    def test_exact_joins_encoded_columns_by_value(self) -> None:
+        # Different dictionaries assign different codes to the same strings:
+        # the join must compare decoded values, not codes.
+        left = Table(
+            "l",
+            {"c": ["a", "b", "b", "z"]},
+            schema=TableSchema({"c": "categorical"}),
+        )
+        right = Table(
+            "r",
+            {"c": ["b", "m", "z", "z"]},
+            schema=TableSchema({"c": "categorical"}),
+        )
+        assert left.schema.dictionary("c") != right.schema.dictionary("c")
+        # matches: b->2*1, z->1*2 => 4 of 16 pairs
+        assert exact_join_selectivity(left, "c", right, "c") == pytest.approx(4 / 16)
+
+    def test_exact_encoded_vs_numeric_is_zero(self) -> None:
+        left = Table("l", {"c": ["a", "b"]}, schema=TableSchema({"c": "categorical"}))
+        right = Table("r", {"c": [0.0, 1.0]})
+        assert exact_join_selectivity(left, "c", right, "c") == 0.0
+
+    def test_estimate_close_to_one_over_ndv_on_fk_join(self) -> None:
+        catalog = Catalog()
+        rng = np.random.default_rng(7)
+        catalog.add_table(Table("dim", {"k": np.arange(1000, dtype=float)}))
+        # Skewed fact side: the estimate must still land near 1/ndv(dim).
+        skew = np.minimum((rng.pareto(1.5, size=8000) * 50).astype(int), 999)
+        catalog.add_table(Table("fact", {"k": skew.astype(float)}))
+        for name in ("dim", "fact"):
+            catalog.attach_estimator(name, create_estimator("equidepth", buckets=64))
+        estimate = estimate_join_selectivity(catalog, "fact", "k", "dim", "k")
+        assert estimate == pytest.approx(1.0 / 1000, rel=0.5)
+
+    def test_estimate_zero_on_disjoint_domains(self) -> None:
+        catalog = Catalog()
+        catalog.add_table(Table("l", {"k": [0.0, 1.0, 2.0]}))
+        catalog.add_table(Table("r", {"k": [10.0, 11.0]}))
+        assert estimate_join_selectivity(catalog, "l", "k", "r", "k") == 0.0
+
+    def test_estimate_containment_fallback_on_dictionary_mismatch(self) -> None:
+        catalog = Catalog()
+        catalog.add_table(
+            Table("l", {"c": ["a", "b", "c"]}, schema=TableSchema({"c": "categorical"}))
+        )
+        catalog.add_table(
+            Table("r", {"c": ["b", "x"]}, schema=TableSchema({"c": "categorical"}))
+        )
+        assert estimate_join_selectivity(catalog, "l", "c", "r", "c") == pytest.approx(
+            1.0 / 3
+        )
+
+
+class TestEstimatorBackedJoinOrdering:
+    """Acceptance: the optimizer derives join selectivities from synopses for
+    ``join_keys`` pairs instead of trusting the default fallback."""
+
+    @pytest.fixture()
+    def fk_catalog(self) -> Catalog:
+        rng = np.random.default_rng(11)
+        catalog = Catalog()
+        catalog.add_table(
+            Table(
+                "fact",
+                {
+                    "a": rng.integers(0, 1000, size=20_000).astype(float),
+                    "b": rng.integers(0, 10, size=20_000).astype(float),
+                },
+            )
+        )
+        catalog.add_table(Table("dim_a", {"a": np.arange(1000, dtype=float)}))
+        catalog.add_table(
+            Table("dim_b", {"b": np.repeat(np.arange(10, dtype=float), 200)})
+        )
+        return catalog
+
+    @pytest.fixture()
+    def fk_spec(self) -> JoinSpec:
+        return JoinSpec(
+            tables=("fact", "dim_a", "dim_b"),
+            filters={},
+            join_selectivities={},
+            join_keys={
+                frozenset(("fact", "dim_a")): {"fact": "a", "dim_a": "a"},
+                frozenset(("fact", "dim_b")): {"fact": "b", "dim_b": "b"},
+            },
+        )
+
+    def test_default_fallback_picks_worse_order(self, fk_catalog, fk_spec) -> None:
+        # Without synopses the estimated costs use the default selectivity
+        # (1.0) for every pair, which starts the join with the two dimension
+        # tables — a provably worse order once true FK selectivities apply.
+        optimizer = Optimizer(fk_catalog)
+        chosen = optimizer.best_plan(fk_spec, use_estimates=True)
+        optimal = optimizer.best_plan(fk_spec, use_estimates=False)
+        assert chosen.order != optimal.order
+        assert optimal.order[:2] == ("fact", "dim_a")
+        assert plan_regret(optimizer, fk_spec) > 1.0
+
+    def test_synopses_recover_the_better_order(self, fk_catalog, fk_spec) -> None:
+        for name in fk_catalog.table_names():
+            fk_catalog.attach_estimator(name, create_estimator("equidepth", buckets=64))
+        optimizer = Optimizer(fk_catalog)
+        chosen = optimizer.best_plan(fk_spec, use_estimates=True)
+        optimal = optimizer.best_plan(fk_spec, use_estimates=False)
+        assert chosen.order == optimal.order
+        assert plan_regret(optimizer, fk_spec) == pytest.approx(1.0)
+
+    def test_explicit_selectivity_overrides_join_keys(self, fk_catalog) -> None:
+        spec = JoinSpec(
+            tables=("fact", "dim_a"),
+            filters={},
+            join_selectivities={frozenset(("fact", "dim_a")): 0.5},
+            join_keys={frozenset(("fact", "dim_a")): {"fact": "a", "dim_a": "a"}},
+        )
+        plan = Optimizer(fk_catalog).best_plan(spec, use_estimates=False)
+        assert plan.true_cost == pytest.approx(20_000 * 1000 * 0.5)
+
+    def test_true_cost_uses_exact_join_selectivity(self, fk_catalog, fk_spec) -> None:
+        optimizer = Optimizer(fk_catalog)
+        plans = {p.order: p for p in optimizer.enumerate_plans(fk_spec)}
+        fact_dim_a_first = plans[("fact", "dim_a", "dim_b")]
+        sel_fa = exact_join_selectivity(
+            fk_catalog.table("fact"), "a", fk_catalog.table("dim_a"), "a"
+        )
+        sel_fb = exact_join_selectivity(
+            fk_catalog.table("fact"), "b", fk_catalog.table("dim_b"), "b"
+        )
+        first = 20_000 * 1000 * sel_fa
+        second = first * 2000 * sel_fb  # dim_a x dim_b has no key: default 1.0
+        assert fact_dim_a_first.true_cost == pytest.approx(first + second)

@@ -1,0 +1,248 @@
+"""Unit tests for TableSchema, dictionary encoding and the stats cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError, SchemaError
+from repro.engine.table import ColumnKind, Table, TableSchema
+from repro.shard.partition import make_partitioner, partition_table
+from repro.workload.queries import (
+    Interval,
+    RangeQuery,
+    SetMembership,
+    StringPrefix,
+    TypedQuery,
+)
+
+
+@pytest.fixture()
+def schema() -> TableSchema:
+    return TableSchema({"region": "categorical", "product": "string"})
+
+
+@pytest.fixture()
+def table(schema: TableSchema) -> Table:
+    return Table(
+        "orders",
+        {
+            "amount": [10.0, 20.0, 30.0, 40.0, 50.0],
+            "region": ["west", "east", "west", "north", "east"],
+            "product": ["auto-1", "bio-2", "auto-3", "chem-4", "auto-1"],
+        },
+        schema=schema,
+    )
+
+
+class TestTableSchema:
+    def test_kinds_default_numeric(self, schema: TableSchema) -> None:
+        assert schema.kind("region") is ColumnKind.CATEGORICAL
+        assert schema.kind("product") is ColumnKind.STRING
+        assert schema.kind("amount") is ColumnKind.NUMERIC
+        assert schema.encoded_columns == ("product", "region")
+        assert not schema.is_encoded("amount")
+
+    def test_unknown_kind_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            TableSchema({"x": "varchar"})
+
+    def test_dictionary_must_be_sorted_unique(self) -> None:
+        with pytest.raises(SchemaError):
+            TableSchema({"c": "categorical"}, {"c": ["b", "a"]})
+        with pytest.raises(SchemaError):
+            TableSchema({"c": "categorical"}, {"c": ["a", "a"]})
+
+    def test_dictionary_for_numeric_column_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            TableSchema({}, {"x": ["a"]})
+
+    def test_encode_decode_roundtrip(self) -> None:
+        schema = TableSchema({"c": "categorical"}, {"c": ["a", "b", "c"]})
+        codes = schema.encode("c", ["c", "a", "b", "a"])
+        np.testing.assert_array_equal(codes, [2.0, 0.0, 1.0, 0.0])
+        np.testing.assert_array_equal(schema.decode("c", codes), ["c", "a", "b", "a"])
+
+    def test_encode_unknown_value_raises(self) -> None:
+        schema = TableSchema({"c": "categorical"}, {"c": ["a", "b"]})
+        with pytest.raises(SchemaError):
+            schema.encode("c", ["a", "zzz"])
+
+    def test_extend_dictionary_returns_remap(self) -> None:
+        schema = TableSchema({"c": "categorical"}, {"c": ["b", "d"]})
+        remap = schema.extend_dictionary("c", ["a", "c"])
+        assert remap is not None
+        # old codes: b=0, d=1 -> new dictionary a,b,c,d: b=1, d=3
+        np.testing.assert_array_equal(remap, [1, 3])
+        assert schema.dictionary("c") == ("a", "b", "c", "d")
+
+    def test_extend_with_known_values_is_noop(self) -> None:
+        schema = TableSchema({"c": "categorical"}, {"c": ["a", "b"]})
+        assert schema.extend_dictionary("c", ["b", "a"]) is None
+        assert schema.dictionary("c") == ("a", "b")
+
+    def test_json_roundtrip_preserves_dictionaries_bitwise(self, table: Table) -> None:
+        payload = table.schema.to_json()
+        restored = TableSchema.from_json(payload)
+        assert restored == table.schema
+        assert restored.dictionary("region") == table.schema.dictionary("region")
+        assert restored.to_json() == payload
+
+    def test_from_json_rejects_newer_version(self) -> None:
+        with pytest.raises(SchemaError):
+            TableSchema.from_json({"schema_version": 99, "kinds": {}})
+
+    def test_copy_is_independent(self, schema: TableSchema) -> None:
+        schema.extend_dictionary("region", ["west"])
+        clone = schema.copy()
+        clone.extend_dictionary("region", ["zzz"])
+        assert schema.dictionary("region") == ("west",)
+        assert clone.dictionary("region") == ("west", "zzz")
+
+    def test_predicate_runs_merges_consecutive_codes(self) -> None:
+        schema = TableSchema({"c": "categorical"}, {"c": ["a", "b", "c", "e", "g"]})
+        runs = schema.predicate_runs("c", SetMembership(["a", "b", "c", "g"]))
+        np.testing.assert_array_equal(runs, [[0.0, 2.0], [4.0, 4.0]])
+
+    def test_predicate_runs_prefix_single_interval(self) -> None:
+        schema = TableSchema(
+            {"s": "string"}, {"s": ["auto-1", "auto-2", "bio-1", "bio-2", "chem-1"]}
+        )
+        np.testing.assert_array_equal(
+            schema.predicate_runs("s", StringPrefix("bio")), [[2.0, 3.0]]
+        )
+        np.testing.assert_array_equal(
+            schema.predicate_runs("s", StringPrefix("")), [[0.0, 4.0]]
+        )
+        assert schema.predicate_runs("s", StringPrefix("zzz")).shape == (0, 2)
+
+    def test_prefix_on_categorical_rejected(self, schema: TableSchema) -> None:
+        schema.extend_dictionary("region", ["west"])
+        with pytest.raises(SchemaError):
+            schema.predicate_runs("region", StringPrefix("we"))
+
+    def test_numeric_in_set_becomes_point_runs(self) -> None:
+        schema = TableSchema()
+        runs = schema.predicate_runs("x", SetMembership([3.0, 1.0]))
+        np.testing.assert_array_equal(runs, [[1.0, 1.0], [3.0, 3.0]])
+
+    def test_interval_passes_through(self) -> None:
+        schema = TableSchema()
+        np.testing.assert_array_equal(
+            schema.predicate_runs("x", Interval(1.0, 2.0)), [[1.0, 2.0]]
+        )
+
+
+class TestEncodedTable:
+    def test_string_columns_are_encoded(self, table: Table) -> None:
+        assert table.schema is not None
+        assert table.schema.dictionary("region") == ("east", "north", "west")
+        np.testing.assert_array_equal(table.column("region"), [2.0, 0.0, 2.0, 1.0, 0.0])
+        np.testing.assert_array_equal(
+            table.decoded("region"), ["west", "east", "west", "north", "east"]
+        )
+
+    def test_schema_is_copied_on_construction(self, schema: TableSchema) -> None:
+        Table("t", {"region": ["a"], "product": ["p"]}, schema=schema)
+        # The caller's schema object must not have been mutated.
+        assert not schema.has_dictionary("region")
+
+    def test_undeclared_string_column_raises(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            Table("t", {"s": ["a", "b"]})
+
+    def test_precoded_numeric_input_validated(self, table: Table) -> None:
+        good = Table(
+            "t2",
+            {"amount": [1.0], "region": [2.0], "product": [0.0]},
+            schema=table.schema,
+        )
+        assert good.decoded("region")[0] == "west"
+        with pytest.raises(SchemaError):
+            Table(
+                "t3",
+                {"amount": [1.0], "region": [7.0], "product": [0.0]},
+                schema=table.schema,
+            )
+        with pytest.raises(SchemaError):
+            Table(
+                "t4",
+                {"amount": [1.0], "region": [0.5], "product": [0.0]},
+                schema=table.schema,
+            )
+
+    def test_append_novel_value_recodes_existing_rows(self, table: Table) -> None:
+        before = table.decoded("region").tolist()
+        table.append_rows(
+            {"amount": [60.0], "region": ["central"], "product": ["auto-9"]}
+        )
+        assert table.schema.dictionary("region") == ("central", "east", "north", "west")
+        # Existing rows still decode to the same strings after the recode.
+        assert table.decoded("region")[:-1].tolist() == before
+        assert table.decoded("region")[-1] == "central"
+        assert table.row_count == 6
+
+    def test_typed_selection_mask(self, table: Table) -> None:
+        query = TypedQuery(
+            {"region": SetMembership(["west"]), "product": StringPrefix("auto")}
+        )
+        np.testing.assert_array_equal(
+            table.selection_mask(query), [True, False, True, False, False]
+        )
+        assert table.true_count(query) == 2
+        assert table.true_selectivity(query) == pytest.approx(0.4)
+
+    def test_typed_true_counts_match_scalar(self, table: Table) -> None:
+        queries = [
+            TypedQuery({"region": SetMembership(["east", "west"])}),
+            TypedQuery({"product": StringPrefix("bio"), "amount": (0.0, 100.0)}),
+            TypedQuery({"region": SetMembership(["nowhere"])}),
+            RangeQuery({"amount": (15.0, 45.0)}),
+        ]
+        counts = table.true_counts(queries)
+        np.testing.assert_array_equal(counts, [table.true_count(q) for q in queries])
+
+    def test_select_and_sample_preserve_schema(self, table: Table) -> None:
+        selected = table.select(TypedQuery({"product": StringPrefix("auto")}))
+        assert selected.schema == table.schema
+        assert set(selected.decoded("product")) == {"auto-1", "auto-3"}
+        sampled = table.sample(2, np.random.default_rng(0))
+        assert sampled.schema == table.schema
+
+    def test_partition_table_preserves_schema(self, table: Table) -> None:
+        shards = partition_table(table, make_partitioner("hash", 2), ["region"])
+        assert sum(s.row_count for s in shards) == table.row_count
+        for shard in shards:
+            assert shard.schema == table.schema
+            if shard.row_count:
+                shard.decoded("region")  # codes stay valid under the shared dictionary
+
+    def test_numeric_table_unchanged_without_schema(self) -> None:
+        plain = Table("plain", {"x": [1.0, 2.0]})
+        assert plain.schema is None
+
+
+class TestStatsCache:
+    def test_stats_cached_until_append(self) -> None:
+        table = Table("t", {"x": [1.0, 2.0, 2.0]})
+        first = table.stats("x")
+        assert table.stats("x") is first
+        assert first.distinct == 2
+        table.append_rows({"x": [3.0]})
+        second = table.stats("x")
+        assert second is not first
+        assert second.count == 4
+        assert second.distinct == 3
+
+    def test_domain_uses_cache(self) -> None:
+        table = Table("t", {"x": [1.0, 5.0]})
+        assert table.domain()["x"] == (1.0, 5.0)
+        table.append_rows({"x": [9.0]})
+        assert table.domain()["x"] == (1.0, 9.0)
+
+    def test_cache_is_per_column(self) -> None:
+        table = Table("t", {"x": [1.0], "y": [2.0]})
+        sx = table.stats("x")
+        sy = table.stats("y")
+        assert sx is not sy
+        assert table.stats("y") is sy

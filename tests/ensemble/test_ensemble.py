@@ -23,7 +23,6 @@ from repro.core.estimator import (
 )
 from repro.core.resolve import resolve_estimator
 from repro.engine.catalog import Catalog
-from repro.engine.table import Table
 from repro.ensemble import EnsembleEstimator
 from repro.ensemble.experts import ExpertPool, WeightedExpert
 from repro.ensemble.policy import (
