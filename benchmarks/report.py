@@ -25,8 +25,10 @@ from __future__ import annotations
 import json
 import pathlib
 import platform
+import subprocess
 from contextlib import contextmanager
 from datetime import datetime, timezone
+from time import perf_counter
 from typing import Any, Iterator
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -46,6 +48,26 @@ def _numpy_version() -> str | None:
     except ImportError:  # pragma: no cover - numpy is a hard dep of the repo
         return None
     return numpy.__version__
+
+
+def _git_sha() -> str | None:
+    """The repo HEAD commit, or ``None`` outside a git checkout.
+
+    Recorded in every envelope so an archived ``BENCH_*.json`` can be tied
+    back to the exact code that produced it.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
 
 
 def _jsonable(value: Any) -> Any:
@@ -70,6 +92,18 @@ class BenchReport:
         self.metrics: dict[str, Any] = {}
         self.gates: dict[str, dict[str, Any]] = {}
         self.notes: list[str] = []
+        self.telemetry_snapshot: dict[str, Any] | None = None
+        self._started = perf_counter()
+
+    def telemetry(self, registry: Any) -> None:
+        """Attach a metrics-registry snapshot to the report envelope.
+
+        ``registry`` is anything with a ``snapshot()`` method — a
+        :class:`repro.obs.metrics.MetricsRegistry` — so a benchmark that
+        instrumented its run ships the raw counter/histogram payload next to
+        its derived metrics.
+        """
+        self.telemetry_snapshot = registry.snapshot()
 
     def metric(self, key: str, value: Any) -> None:
         """Record one measured value (numbers, strings, flat lists/dicts)."""
@@ -114,8 +148,12 @@ class BenchReport:
             "notes": self.notes,
             "python": platform.python_version(),
             "numpy": _numpy_version(),
+            "git_sha": _git_sha(),
+            "duration_seconds": round(perf_counter() - self._started, 6),
             "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         }
+        if self.telemetry_snapshot is not None:
+            payload["telemetry"] = self.telemetry_snapshot
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         return path
 

@@ -24,10 +24,18 @@ others.  The last section serves several synopses as *one* estimator: a
 drift-adaptive :class:`~repro.ensemble.EnsembleEstimator` combines a
 weighted pool of experts and reweights them from query feedback
 (``examples/ensemble_drift.py`` is the full drifting-stream walkthrough).
-The final section moves beyond pure numeric data: a schema-declared table
+The next section moves beyond pure numeric data: a schema-declared table
 with dictionary-encoded categorical and string columns answers typed
 predicates (IN sets, string prefixes) through the very same numeric
 synopses, by lowering each typed query onto disjoint code-range boxes.
+The closing section turns telemetry on: an instrumented
+:class:`~repro.serve.EstimatorServer` records per-request latency
+histograms and cache counters into a
+:class:`~repro.obs.metrics.MetricsRegistry` (off by default — the
+uninstrumented hot path pays a single branch), and the snapshot is exported
+to JSON through the pluggable exporter registry
+(``examples/telemetry_traffic.py`` is the full multi-tenant traffic
+walkthrough).
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ from repro import (
     EquiDepthHistogram,
     EstimatorServer,
     Interval,
+    MetricsRegistry,
     ModelStore,
     SamplingEstimator,
     SetMembership,
@@ -54,6 +63,7 @@ from repro import (
     UniformWorkload,
     compile_queries,
     evaluate_estimator,
+    exporter_for_path,
     gaussian_mixture_table,
     mixed_type_table,
     render_table,
@@ -246,6 +256,36 @@ def main() -> None:
         f"  500 mixed typed queries answered in one batch, "
         f"mean abs error {mean_abs:.4f}"
     )
+
+    # 10. Telemetry: pass a MetricsRegistry to make the server record every
+    #     request into a streaming log-bucketed latency histogram (p50/p99
+    #     without storing samples) next to its cache and generation counters.
+    #     Off by default — an unmetered server pays one branch per request.
+    #     The snapshot exports through the exporter registry; the suffix
+    #     picks the format (.json / .jsonl).
+    registry = MetricsRegistry()
+    server = EstimatorServer(
+        EquiDepthHistogram(buckets=64).fit(table), cache_size=64, metrics=registry
+    )
+    for _ in range(5):
+        server.estimate_batch(plan, tenant="quickstart")
+    requests = registry.histogram("serve.request_seconds")
+    print()
+    print(
+        f"served {requests.count} instrumented requests: "
+        f"p50 {requests.quantile(0.5) * 1e3:.2f}ms, "
+        f"p99 {requests.quantile(0.99) * 1e3:.2f}ms, "
+        f"hit rate {server.cache_info().hit_rate:.0%}"
+    )
+    with tempfile.TemporaryDirectory() as root:
+        out = Path(root) / "telemetry.json"
+        exporter_for_path(out).export(registry.snapshot(), out)
+        sections = exporter_for_path(out).load(out)
+        print(
+            f"exported telemetry snapshot to {out.name}: "
+            f"{len(sections['counters'])} counters, "
+            f"{len(sections['histograms'])} histograms"
+        )
 
 
 if __name__ == "__main__":

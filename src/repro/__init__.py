@@ -140,6 +140,17 @@ from repro.persist import (
     save_estimator,
     save_sharded,
 )
+from repro.obs import (
+    JSONExporter,
+    JSONLExporter,
+    LatencyHistogram,
+    MetricsExporter,
+    MetricsRegistry,
+    exporter_for_path,
+    resolve_exporter,
+    set_default_metrics,
+    use_default_metrics,
+)
 from repro.serve import EstimatorServer, ServerCacheInfo
 from repro.shard import (
     HashPartitioner,
@@ -153,6 +164,13 @@ from repro.shard import (
 )
 from repro.stream.reservoir import DecayedReservoirSampler, ReservoirSampler
 from repro.stream.windows import SlidingWindow
+from repro.traffic import (
+    DEFAULT_TENANTS,
+    TenantProfile,
+    TrafficEvent,
+    TrafficReport,
+    TrafficSimulator,
+)
 from repro.workload.generators import (
     DataCenteredWorkload,
     SkewedWorkload,
@@ -257,6 +275,21 @@ __all__ = [
     "load_sharded",
     "EstimatorServer",
     "ServerCacheInfo",
+    # observability & traffic
+    "MetricsRegistry",
+    "LatencyHistogram",
+    "set_default_metrics",
+    "use_default_metrics",
+    "MetricsExporter",
+    "JSONExporter",
+    "JSONLExporter",
+    "exporter_for_path",
+    "resolve_exporter",
+    "TrafficSimulator",
+    "TenantProfile",
+    "TrafficEvent",
+    "TrafficReport",
+    "DEFAULT_TENANTS",
     # data & workloads
     "uniform_table",
     "gaussian_mixture_table",

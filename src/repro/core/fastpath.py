@@ -82,6 +82,7 @@ __all__ = [
     "gaussian_cull_radius",
     "gaussian_tail_radius",
     "normal_box_mass",
+    "set_route_metrics",
     "weighted_box_masses",
 ]
 
@@ -115,6 +116,24 @@ _BUFFER_ELEMENTS = 1 << 17
 AxisMass = Callable[[np.ndarray | None, int, np.ndarray, np.ndarray], np.ndarray]
 
 _ENABLED = True
+
+#: Optional observability sink for routing decisions (``None`` = no-op).
+_ROUTE_METRICS = None
+
+
+def set_route_metrics(registry) -> None:
+    """Install a :class:`repro.obs.metrics.MetricsRegistry` for route counts.
+
+    When set, :func:`estimate_boxes` counts how many queries it answered via
+    the culled path (``fastpath.culled_queries``) versus the dense
+    micro-kernel (``fastpath.dense_queries``, including whole batches it
+    declined).  ``None`` (the default) disables counting entirely — the hot
+    path then pays a single module-global ``is not None`` check.  Process-
+    wide rather than per-estimator because the routing decision itself is a
+    module-level policy.
+    """
+    global _ROUTE_METRICS
+    _ROUTE_METRICS = registry if registry is not None and registry.enabled else None
 
 
 def fastpath_enabled() -> bool:
@@ -371,15 +390,24 @@ def estimate_boxes(
     wide) — the caller then takes the dense path itself.
     """
     n = lows.shape[0]
+    route_metrics = _ROUTE_METRICS
     if index.kernel_count < _MIN_KERNELS or n == 0:
+        if route_metrics is not None and n:
+            route_metrics.counter("fastpath.dense_queries").inc(n)
         return None
     counts = index.candidate_counts(lows, highs)
     tightest = counts.min(axis=1)
     selective = tightest < index.kernel_count * _DENSE_FRACTION
     if not selective.any():
+        if route_metrics is not None:
+            route_metrics.counter("fastpath.dense_queries").inc(n)
         return None
     out = np.zeros(n)
     wide = np.flatnonzero(~selective)
+    if route_metrics is not None:
+        if wide.size:
+            route_metrics.counter("fastpath.dense_queries").inc(int(wide.size))
+        route_metrics.counter("fastpath.culled_queries").inc(int(n - wide.size))
     if wide.size:
         out[wide] = weighted_box_masses(
             lows[wide], highs[wide], axis_mass, weights, total_weight

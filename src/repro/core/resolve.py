@@ -1,22 +1,24 @@
-"""Uniform resolution of estimator specifications.
+"""Uniform resolution of pluggable-component specifications.
 
-Wrapper estimators (the feedback wrapper, the sharded front end, the expert
-ensemble) all accept an inner estimator given as any of
+Registry-backed components across the repo — estimators, metrics exporters,
+weighting policies — all accept a spec given as any of
 
-* a :class:`~repro.core.estimator.SelectivityEstimator` **instance**,
-* a registry **name** string (``"kde"``),
+* a component **instance**,
+* a registry **name** string (``"kde"``, ``"jsonl"``),
 * a ``{"name": ..., **params}`` **config mapping** — which is how snapshot
   and describe round-trips reconstruct nested wrappers through
-  :func:`~repro.core.estimator.estimator_from_config`.
+  ``*_from_config`` factories.
 
-:func:`resolve_estimator` is the one shared implementation of that
-convention, so arbitrarily nested wrapper configs (ensemble-of-feedback-of-
-kde) round-trip uniformly.
+:func:`resolve_component` is the one shared implementation of that
+convention; :func:`resolve_estimator` binds it to the estimator registry
+(used by the feedback wrapper, the sharded front end, and the expert
+ensemble, so arbitrarily nested wrapper configs round-trip uniformly), and
+:func:`repro.obs.export.resolve_exporter` binds it to the exporter registry.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, TypeVar
 
 from repro.core.errors import InvalidParameterError
 from repro.core.estimator import (
@@ -25,7 +27,43 @@ from repro.core.estimator import (
     estimator_from_config,
 )
 
-__all__ = ["resolve_estimator"]
+__all__ = ["resolve_component", "resolve_estimator"]
+
+T = TypeVar("T")
+
+
+def resolve_component(
+    spec: "T | Mapping[str, Any] | str | None",
+    *,
+    base_type: type,
+    create: Callable[[str], T],
+    from_config: Callable[[Mapping[str, Any]], T],
+    default: Callable[[], T] | None = None,
+    what: str = "component",
+    kind: str = "component",
+) -> T:
+    """Resolve a component spec (instance / registry name / config mapping).
+
+    ``base_type`` is the instance type accepted as-is, ``create`` builds from
+    a registry name, ``from_config`` from a ``{"name": ..., **params}``
+    mapping.  ``default`` is a zero-argument factory used when ``spec`` is
+    ``None``; without one, ``None`` is rejected.  ``what`` names the
+    parameter and ``kind`` the component family in error messages.
+    """
+    if spec is None:
+        if default is None:
+            raise InvalidParameterError(f"{what} specification is required")
+        return default()
+    if isinstance(spec, base_type):
+        return spec
+    if isinstance(spec, str):
+        return create(spec)
+    if isinstance(spec, Mapping):
+        return from_config(spec)
+    raise InvalidParameterError(
+        f"{what} must be {'an' if kind[0] in 'aeiou' else 'a'} {kind} instance, "
+        f"registry name or config mapping, got {type(spec).__name__}"
+    )
 
 
 def resolve_estimator(
@@ -40,17 +78,12 @@ def resolve_estimator(
     without one, ``None`` is rejected.  ``what`` names the parameter in error
     messages (``"base"``, ``"expert"``, ...).
     """
-    if spec is None:
-        if default is None:
-            raise InvalidParameterError(f"{what} specification is required")
-        return default()
-    if isinstance(spec, SelectivityEstimator):
-        return spec
-    if isinstance(spec, str):
-        return create_estimator(spec)
-    if isinstance(spec, Mapping):
-        return estimator_from_config(spec)
-    raise InvalidParameterError(
-        f"{what} must be an estimator instance, registry name or config "
-        f"mapping, got {type(spec).__name__}"
+    return resolve_component(
+        spec,
+        base_type=SelectivityEstimator,
+        create=create_estimator,
+        from_config=estimator_from_config,
+        default=default,
+        what=what,
+        kind="estimator",
     )

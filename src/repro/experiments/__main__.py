@@ -25,6 +25,16 @@ front end (experiments that exercise streaming/feedback-specific paths keep
 their monolithic estimators)::
 
     python -m repro.experiments --shards 4 --partitioner range table1
+
+Telemetry: ``--telemetry PATH`` installs a process-default metrics registry
+for the run (every model store, shard executor and estimator server built by
+the experiments records into it, and the query fast path counts its
+culled-vs-dense routing), times each experiment into
+``experiments.run_seconds{experiment=...}``, and exports the final snapshot
+to ``PATH`` through the exporter matching its suffix (``.json`` /
+``.jsonl``)::
+
+    python -m repro.experiments --telemetry runs/table1.jsonl table1
 """
 
 from __future__ import annotations
@@ -109,6 +119,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         "accuracy-experiment line-up, e.g. --estimator ensemble; repeatable",
     )
     parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="record run telemetry into a metrics registry and export the "
+        "snapshot to PATH (exporter chosen by suffix: .json / .jsonl)",
+    )
+    parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="experiment id (table1..table4, fig1..fig8) or 'all'",
@@ -148,12 +164,40 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
     extra = use_estimators(args.estimator) if args.estimator else nullcontext()
 
+    if args.telemetry:
+        from repro.core.fastpath import set_route_metrics
+        from repro.obs.export import exporter_for_path
+        from repro.obs.metrics import MetricsRegistry, use_default_metrics
+
+        registry = MetricsRegistry()
+        telemetry = use_default_metrics(registry)
+    else:
+        registry = None
+        telemetry = nullcontext()
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    with context, sharding, extra:
-        for name in names:
-            result = run_experiment(name, **(overrides if args.experiment != "all" else {}))
-            print(result.render())
-            print()
+    with context, sharding, extra, telemetry:
+        if registry is not None:
+            set_route_metrics(registry)
+        try:
+            for name in names:
+                timer = (
+                    registry.timer("experiments.run_seconds", experiment=name)
+                    if registry is not None
+                    else nullcontext()
+                )
+                with timer:
+                    result = run_experiment(
+                        name, **(overrides if args.experiment != "all" else {})
+                    )
+                print(result.render())
+                print()
+        finally:
+            if registry is not None:
+                set_route_metrics(None)
+    if registry is not None:
+        path = exporter_for_path(args.telemetry).export(registry.snapshot(), args.telemetry)
+        print(f"telemetry snapshot written to {path}")
     return 0
 
 

@@ -1,0 +1,72 @@
+"""Observability layer: metrics, latency histograms, pluggable exporters.
+
+``obs`` is the repo's telemetry substrate.  It is dependency-free (stdlib
+only, besides the shared error types and the component-resolution helper)
+and sits below every instrumented layer:
+
+* :mod:`repro.obs.metrics` — :class:`~repro.obs.metrics.MetricsRegistry`
+  with counters, gauges (including zero-overhead snapshot-time callback
+  gauges), streaming log-bucketed
+  :class:`~repro.obs.metrics.LatencyHistogram` quantiles, timer context
+  managers/decorators, and the no-op :data:`~repro.obs.metrics.NULL_REGISTRY`
+  default that keeps uninstrumented hot paths at one-branch cost.
+* :mod:`repro.obs.export` — the exporter registry (``"json"`` /
+  ``"jsonl"``, registry-keyed so columnar formats can slot in later) that
+  serialises registry snapshots losslessly.
+
+Instrumented layers: :class:`~repro.serve.EstimatorServer` (per-request
+latency, cache hits/misses, generation swaps, per-tenant labels),
+:meth:`~repro.core.streaming.StreamingADE.insert`/``flush`` (bulk-ingest
+rows and latency), :meth:`~repro.persist.store.ModelStore.publish`,
+:class:`~repro.shard.parallel.ShardExecutor` per-shard task timings, and the
+query fast path's culled-vs-dense routing counters
+(:func:`repro.core.fastpath.set_route_metrics`).
+"""
+
+from repro.obs.export import (
+    JSONExporter,
+    JSONLExporter,
+    MetricsExporter,
+    available_exporters,
+    create_exporter,
+    exporter_for_path,
+    exporter_from_config,
+    register_exporter,
+    resolve_exporter,
+)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    NullRegistry,
+    default_metrics,
+    hit_rate,
+    metric_key,
+    set_default_metrics,
+    use_default_metrics,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "default_metrics",
+    "set_default_metrics",
+    "use_default_metrics",
+    "hit_rate",
+    "metric_key",
+    "MetricsExporter",
+    "JSONExporter",
+    "JSONLExporter",
+    "register_exporter",
+    "create_exporter",
+    "exporter_from_config",
+    "available_exporters",
+    "resolve_exporter",
+    "exporter_for_path",
+]

@@ -1,0 +1,562 @@
+"""Lightweight, dependency-free telemetry primitives.
+
+A :class:`MetricsRegistry` owns named, labelled metrics of three kinds:
+
+* :class:`Counter` — monotonically increasing totals (requests, rows, ...).
+* :class:`Gauge` — last-write-wins instantaneous values.  ``gauge_fn``
+  registers a *callback* gauge evaluated lazily at snapshot time, so hot
+  paths that already maintain their own counters (the serving cache) are
+  exported with **zero** per-event overhead.
+* :class:`LatencyHistogram` — a streaming, log-bucketed latency histogram:
+  O(1) bounded memory, O(log buckets) ``record`` (one ``bisect`` into a
+  precomputed geometric edge table), and quantile readouts that are exact to
+  within one bucket (~12% relative, 20 buckets per decade) — the resolution
+  SLO gates need for p50/p95/p99 without retaining samples.
+
+Instrumented layers follow one discipline: the *no-op default*.  Every
+instrumentation point is either guarded by an ``is not None`` /
+``registry.enabled`` check or records into :data:`NULL_REGISTRY`, whose
+metric objects are inert singletons — so an uninstrumented hot path pays one
+attribute load and a branch, nothing more.
+
+Registries are process-local *sinks*, not model state: ``copy.deepcopy`` of
+an object holding a registry reference (a served model checked out for a
+copy-on-write update) carries the *same* registry along, and pickling — e.g.
+shipping an estimator to a process-pool worker — degrades the reference to
+the no-op registry rather than dragging locks across the boundary.
+
+:func:`hit_rate` is the single shared hit-rate computation used by the
+serving layer (``ServerCacheInfo.hit_rate`` and ``EstimatorServer.stats()``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_right
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "default_metrics",
+    "set_default_metrics",
+    "use_default_metrics",
+    "hit_rate",
+    "metric_key",
+]
+
+LabelsT = tuple[tuple[str, str], ...]
+
+
+def hit_rate(hits: int, misses: int) -> float:
+    """Fraction of requests answered from a cache (0.0 under zero traffic).
+
+    The one shared definition of "hit rate" in the repo — the serving layer's
+    ``ServerCacheInfo.hit_rate`` and ``EstimatorServer.stats()`` both defer
+    here instead of re-deriving it.
+    """
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def metric_key(name: str, labels: LabelsT) -> str:
+    """Render ``name`` + sorted labels as one stable string key.
+
+    ``"serve.requests{tenant=a,op=query}"`` — the key used in snapshots and
+    exports, so two registries recording the same series produce comparable
+    payloads.
+    """
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+def _labels_tuple(labels: Mapping[str, object]) -> LabelsT:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total (thread-safe)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelsT = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise InvalidParameterError("counters only increase; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"name": self.name, "labels": dict(self.labels), "value": self._value}
+
+
+class Gauge:
+    """A last-write-wins instantaneous value (thread-safe)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelsT = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"name": self.name, "labels": dict(self.labels), "value": self._value}
+
+
+def _geometric_edges(
+    low: float, high: float, per_decade: int
+) -> tuple[float, ...]:
+    decades = math.log10(high) - math.log10(low)
+    steps = int(round(decades * per_decade))
+    lo = math.log10(low)
+    return tuple(10.0 ** (lo + i / per_decade) for i in range(steps + 1))
+
+
+class LatencyHistogram:
+    """Streaming log-bucketed histogram of positive values (seconds).
+
+    Buckets are geometric with :data:`BUCKETS_PER_DECADE` buckets per decade
+    between :data:`LOW` and :data:`HIGH`; values outside the range land in
+    the underflow/overflow buckets, whose quantile representative is the
+    exact observed min/max.  ``record`` is one ``bisect`` plus a lock-free
+    handful of scalar updates; quantile readout walks the cumulative counts
+    and returns the geometric midpoint of the bucket holding the requested
+    rank, clamped into ``[min, max]`` — so it agrees with
+    ``np.quantile(values, q, method="inverted_cdf")`` to within one bucket
+    (a factor of :data:`GROWTH`), which the hypothesis suite pins.
+    """
+
+    #: Bucket range in seconds: 100 ns .. 100 s.
+    LOW = 1e-7
+    HIGH = 1e2
+    BUCKETS_PER_DECADE = 20
+    #: Relative width of one bucket — the quantile error bound.
+    GROWTH = 10.0 ** (1.0 / BUCKETS_PER_DECADE)
+    _EDGES = _geometric_edges(LOW, HIGH, BUCKETS_PER_DECADE)
+
+    __slots__ = ("name", "labels", "_counts", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, labels: LabelsT = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._counts = [0] * (len(self._EDGES) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        """Fold one observation in (O(log buckets), bounded memory).
+
+        ``record`` is deliberately lock-free: this is the serving hot path,
+        and the 0.95x overhead gate budgets well under a microsecond per
+        request — less than a lock round-trip.  Each update is one
+        read-modify-write that the GIL makes atomic except across a
+        preemption point, so concurrent recorders can in principle drop an
+        occasional observation; that is the accepted telemetry trade-off
+        (quantiles are estimates to one bucket anyway).  Readers
+        (:meth:`quantile`, :meth:`snapshot`) take the lock so a readout is a
+        single point-in-time view.
+        """
+        index = bisect_right(self._EDGES, value)
+        self._counts[index] += 1
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (exact to within one bucket).
+
+        Returns 0.0 on an empty histogram.  The readout is the smallest
+        bucket whose cumulative count reaches ``ceil(q * count)`` — the
+        ``inverted_cdf`` quantile definition.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError("quantile must lie in [0, 1]")
+        with self._lock:
+            count = self._count
+            if count == 0:
+                return 0.0
+            rank = max(int(math.ceil(q * count)), 1)
+            counts = list(self._counts)
+            low, high = self._min, self._max
+        cumulative = 0
+        for index, bucket in enumerate(counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                if index == 0:
+                    value = low
+                elif index >= len(self._EDGES):
+                    value = high
+                else:
+                    value = math.sqrt(self._EDGES[index - 1] * self._EDGES[index])
+                return min(max(value, low), high)
+        # Reachable only when a concurrent lock-free record left the bucket
+        # sum momentarily behind the total: the max is the safe answer.
+        return high  # pragma: no cover
+
+    def quantiles(self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` convenience readout."""
+        return {f"p{round(q * 100):d}": self.quantile(q) for q in qs}
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            count, total = self._count, self._sum
+            low = self._min if count else None
+            high = self._max if count else None
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "count": count,
+            "sum": total,
+            "min": low,
+            "max": high,
+            "buckets": {str(i): c for i, c in enumerate(counts) if c},
+        }
+        payload.update(
+            {key: (value if count else None) for key, value in self.quantiles().items()}
+        )
+        return payload
+
+
+class _Timer:
+    """Context manager recording one elapsed wall-clock span."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: "LatencyHistogram | _NullHistogram") -> None:
+        self._histogram = histogram
+
+    def __enter__(self) -> "_Timer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._histogram.record(perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Process-local store of named, labelled metrics.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create (same name and
+    labels → same object), ``timer`` wraps a histogram in a context manager,
+    ``timed`` is the decorator form, ``gauge_fn`` registers a callback
+    evaluated at snapshot time, and :meth:`snapshot` renders everything as
+    one JSON-native dict that the :mod:`repro.obs.export` exporters
+    round-trip losslessly.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._callbacks: dict[str, tuple[str, LabelsT, Callable[[], float]]] = {}
+
+    # -- registries are shared sinks, not state ------------------------------
+    def __deepcopy__(self, memo: dict) -> "MetricsRegistry":
+        # A copy-on-write model checkout must keep recording into the SAME
+        # sink; a registry is never part of model state.
+        return self
+
+    def __copy__(self) -> "MetricsRegistry":
+        return self
+
+    def __reduce__(self):
+        # Registries do not cross process boundaries (locks don't pickle and
+        # remote increments would be lost anyway): a pickled reference —
+        # e.g. an estimator shipped to a process-pool shard worker —
+        # degrades to the no-op registry.
+        return (_null_registry, ())
+
+    # -- get-or-create -------------------------------------------------------
+    def _get(self, table: dict, factory: type, name: str, labels: Mapping) -> Any:
+        key = metric_key(name, _labels_tuple(labels))
+        metric = table.get(key)
+        if metric is None:
+            with self._lock:
+                metric = table.get(key)
+                if metric is None:
+                    metric = factory(name, _labels_tuple(labels))
+                    table[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(self._counters, Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(self._gauges, Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> LatencyHistogram:
+        return self._get(self._histograms, LatencyHistogram, name, labels)
+
+    def timer(self, name: str, **labels: object) -> _Timer:
+        """``with registry.timer("persist.publish_seconds"): ...``"""
+        return _Timer(self.histogram(name, **labels))
+
+    def timed(self, name: str, **labels: object) -> Callable:
+        """Decorator form of :meth:`timer` for whole-function hot paths."""
+        histogram = self.histogram(name, **labels)
+
+        def decorate(fn: Callable) -> Callable:
+            def wrapper(*args: object, **kwargs: object):
+                start = perf_counter()
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    histogram.record(perf_counter() - start)
+
+            wrapper.__name__ = getattr(fn, "__name__", "wrapped")
+            wrapper.__doc__ = fn.__doc__
+            return wrapper
+
+        return decorate
+
+    def gauge_fn(self, name: str, fn: Callable[[], float], **labels: object) -> None:
+        """Register a callback gauge evaluated lazily at snapshot time.
+
+        The zero-overhead exporter hook for layers that already keep their
+        own counters: nothing is recorded per event, the callback is read
+        when a snapshot is taken.
+        """
+        key = metric_key(name, _labels_tuple(labels))
+        with self._lock:
+            self._callbacks[key] = (name, _labels_tuple(labels), fn)
+
+    # -- read side -----------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """All metrics as one JSON-native payload (exporter input)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+            callbacks = dict(self._callbacks)
+        payload: dict[str, Any] = {
+            "counters": {key: m.snapshot() for key, m in counters.items()},
+            "gauges": {key: m.snapshot() for key, m in gauges.items()},
+            "histograms": {key: m.snapshot() for key, m in histograms.items()},
+        }
+        for key, (name, labels, fn) in callbacks.items():
+            payload["gauges"][key] = {
+                "name": name,
+                "labels": dict(labels),
+                "value": float(fn()),
+            }
+        return payload
+
+    def reset(self) -> None:
+        """Drop every metric and callback (benchmark phase boundaries)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._callbacks.clear()
+
+
+# ---------------------------------------------------------------------------
+# The no-op default
+# ---------------------------------------------------------------------------
+
+
+class _NullMetric:
+    """Inert counter/gauge singleton: every mutation is a no-op."""
+
+    __slots__ = ()
+    name = "null"
+    labels: LabelsT = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+    def __deepcopy__(self, memo: dict) -> "_NullMetric":
+        return self
+
+
+class _NullHistogram(_NullMetric):
+    __slots__ = ()
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def record(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def quantiles(self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)) -> dict[str, float]:
+        return {}
+
+
+_NULL_METRIC = _NullMetric()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class NullRegistry:
+    """The no-op registry: accepts every call, records nothing.
+
+    Instrumented layers default to this, so telemetry costs one attribute
+    load and a branch until a real :class:`MetricsRegistry` is wired in.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: object) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, **labels: object) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, **labels: object) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def timer(self, name: str, **labels: object) -> _NullTimer:
+        return _NULL_TIMER
+
+    def timed(self, name: str, **labels: object) -> Callable:
+        return lambda fn: fn
+
+    def gauge_fn(self, name: str, fn: Callable[[], float], **labels: object) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        pass
+
+    def __deepcopy__(self, memo: dict) -> "NullRegistry":
+        return self
+
+    def __copy__(self) -> "NullRegistry":
+        return self
+
+    def __reduce__(self):
+        return (_null_registry, ())
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+def _null_registry() -> NullRegistry:
+    return NULL_REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# Process-default registry (the CLI's --telemetry hook)
+# ---------------------------------------------------------------------------
+
+_default: "MetricsRegistry | None" = None
+_default_lock = threading.Lock()
+
+
+def default_metrics() -> "MetricsRegistry | NullRegistry":
+    """The process-default registry (:data:`NULL_REGISTRY` until one is set).
+
+    Instrumented constructors resolve ``metrics=None`` through this, so one
+    :func:`set_default_metrics` / :func:`use_default_metrics` call
+    instruments every layer built afterwards without threading a registry
+    through each signature.
+    """
+    return _default if _default is not None else NULL_REGISTRY
+
+
+def set_default_metrics(registry: "MetricsRegistry | None") -> None:
+    """Install (or with ``None``, clear) the process-default registry."""
+    global _default
+    with _default_lock:
+        _default = registry
+
+
+@contextmanager
+def use_default_metrics(registry: "MetricsRegistry | None") -> Iterator[None]:
+    """Scoped :func:`set_default_metrics` (restores the previous default)."""
+    global _default
+    with _default_lock:
+        previous = _default
+        _default = registry
+    try:
+        yield
+    finally:
+        with _default_lock:
+            _default = previous

@@ -21,8 +21,10 @@ import re
 import threading
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 
 from repro.core.errors import PersistenceError
+from repro.obs.metrics import default_metrics
 from repro.core.estimator import SelectivityEstimator
 from repro.persist.snapshot import load_estimator, read_snapshot_header, save_estimator
 
@@ -52,13 +54,25 @@ class ModelStore:
     keep_versions:
         Default prune policy applied after every publish: retain at most this
         many newest versions per model.  ``None`` keeps everything.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`.  When enabled,
+        every :meth:`publish` records its end-to-end latency
+        (``persist.publish_seconds``, the write-temp + claim + pointer-flip
+        span) and bumps ``persist.publishes``.  Defaults to the
+        process-default registry (no-op unless installed).
     """
 
-    def __init__(self, root: str | os.PathLike[str], keep_versions: int | None = None):
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        keep_versions: int | None = None,
+        metrics=None,
+    ):
         if keep_versions is not None and keep_versions < 1:
             raise PersistenceError("keep_versions must be at least 1")
         self.root = Path(root)
         self.keep_versions = keep_versions
+        self.metrics = metrics if metrics is not None else default_metrics()
         self._lock = threading.Lock()
         self.root.mkdir(parents=True, exist_ok=True)
 
@@ -146,6 +160,7 @@ class ModelStore:
         afterwards, so a crash mid-publish leaves the previous version
         intact and readers never see a partial file.
         """
+        publish_start = perf_counter() if self.metrics.enabled else 0.0
         model_dir = self._model_dir(name)
         model_dir.mkdir(parents=True, exist_ok=True)
         with self._lock:
@@ -173,6 +188,11 @@ class ModelStore:
             keep = keep_versions if keep_versions is not None else self.keep_versions
             if keep is not None:
                 self._prune_locked(name, keep)
+        if self.metrics.enabled:
+            self.metrics.histogram("persist.publish_seconds").record(
+                perf_counter() - publish_start
+            )
+            self.metrics.counter("persist.publishes").inc()
         return ModelVersion(name, version, final_path)
 
     @staticmethod

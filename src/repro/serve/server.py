@@ -31,12 +31,14 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.core.errors import InvalidParameterError, NotFittedError
 from repro.core.estimator import SelectivityEstimator, StreamingEstimator
+from repro.obs.metrics import default_metrics, hit_rate
 from repro.workload.queries import CompiledQueries, RangeQuery, compile_queries
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
@@ -58,9 +60,12 @@ class ServerCacheInfo:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of requests answered from the cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of requests answered from the cache.
+
+        Defers to :func:`repro.obs.metrics.hit_rate` — the one shared
+        definition, also used by :meth:`EstimatorServer.stats`.
+        """
+        return hit_rate(self.hits, self.misses)
 
 
 class EstimatorServer:
@@ -80,6 +85,15 @@ class EstimatorServer:
         ``model_name``.
     model_name:
         Store name used with ``store`` (required when ``store`` is given).
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`.  When enabled,
+        the server records per-request latency (``serve.request_seconds``,
+        plus a per-tenant series when callers pass ``tenant=``), per-tenant
+        hit/miss request counters, publish latency
+        (``serve.publish_seconds``), and exports its cache/generation
+        counters as snapshot-time callback gauges — so the uninstrumented
+        request path pays a single branch.  Defaults to the process-default
+        registry (no-op unless installed).
     """
 
     def __init__(
@@ -88,6 +102,7 @@ class EstimatorServer:
         cache_size: int = 256,
         store: "ModelStore | None" = None,
         model_name: str | None = None,
+        metrics=None,
     ) -> None:
         if not estimator.is_fitted:
             raise NotFittedError("EstimatorServer requires a fitted estimator")
@@ -115,6 +130,26 @@ class EstimatorServer:
         self._misses = 0
         self._generation_swaps = 0
         self._cache_invalidations = 0
+        self.metrics = metrics if metrics is not None else default_metrics()
+        self._instrumented = self.metrics.enabled
+        if self._instrumented:
+            self._request_seconds = self.metrics.histogram("serve.request_seconds")
+            self._record_request = self._request_seconds.record  # prebound: hot path
+            # Per-tenant series are get-or-created once and memoised here:
+            # label rendering costs ~µs, far too much for the warm-hit path.
+            self._tenant_series: dict[str, tuple] = {}
+            # The cache/generation counters already exist on the server;
+            # exporting them as snapshot-time callbacks keeps the request
+            # path free of duplicate bookkeeping.
+            self.metrics.gauge_fn("serve.cache_hits", lambda: self._hits)
+            self.metrics.gauge_fn("serve.cache_misses", lambda: self._misses)
+            self.metrics.gauge_fn("serve.hit_rate", lambda: hit_rate(self._hits, self._misses))
+            self.metrics.gauge_fn("serve.generation", lambda: self._current[0])
+            self.metrics.gauge_fn("serve.generation_swaps", lambda: self._generation_swaps)
+            self.metrics.gauge_fn(
+                "serve.cache_invalidations", lambda: self._cache_invalidations
+            )
+            self.metrics.gauge_fn("serve.cached_plans", lambda: len(self._cache))
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -164,11 +199,7 @@ class EstimatorServer:
                 "rows_modelled": model.row_count,
                 "cache_hits": self._hits,
                 "cache_misses": self._misses,
-                "hit_rate": (
-                    self._hits / (self._hits + self._misses)
-                    if (self._hits + self._misses)
-                    else 0.0
-                ),
+                "hit_rate": hit_rate(self._hits, self._misses),
                 "cached_plans": len(self._cache),
                 "cache_capacity": self.cache_size,
                 "generation_swaps": self._generation_swaps,
@@ -178,6 +209,20 @@ class EstimatorServer:
             info["shards"] = model.shard_count
             info["shard_rows"] = [int(n) for n in model.shard_row_counts()]
         return info
+
+    def reset_stats(self) -> None:
+        """Zero the cache hit/miss/invalidation counters.
+
+        ``generation_swaps`` is deliberately *not* reset: the invariant
+        ``generation == 1 + generation_swaps`` (relied on by the concurrency
+        tests and version-aware clients) must survive a counter reset.  The
+        cached results themselves are also kept — this resets measurement,
+        not serving state.
+        """
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._cache_invalidations = 0
 
     # -- serving ---------------------------------------------------------------
     @staticmethod
@@ -189,17 +234,25 @@ class EstimatorServer:
         return (generation, len(plan), digest.digest())
 
     def estimate_batch(
-        self, queries: Sequence[RangeQuery] | CompiledQueries
+        self,
+        queries: Sequence[RangeQuery] | CompiledQueries,
+        *,
+        tenant: str | None = None,
     ) -> np.ndarray:
         """Vector of selectivity estimates for a workload (cached, thread-safe).
 
         The returned array is read-only and may be shared between callers
-        that submit the same plan — treat it as immutable.
+        that submit the same plan — treat it as immutable.  ``tenant``
+        labels the request in the telemetry registry (when one is attached);
+        it never influences the answer or the cache key.
         """
-        return self.estimate_batch_tagged(queries)[1]
+        return self.estimate_batch_tagged(queries, tenant=tenant)[1]
 
     def estimate_batch_tagged(
-        self, queries: Sequence[RangeQuery] | CompiledQueries
+        self,
+        queries: Sequence[RangeQuery] | CompiledQueries,
+        *,
+        tenant: str | None = None,
     ) -> tuple[int, np.ndarray]:
         """Like :meth:`estimate_batch`, also returning the serving generation.
 
@@ -207,22 +260,51 @@ class EstimatorServer:
         the result — the hook concurrency tests and version-aware clients use
         to attribute an answer to a publish.
         """
+        if not self._instrumented:
+            generation, result, _ = self._serve(queries)
+            return generation, result
+        perf = perf_counter  # local binding: this wrapper is the hot path
+        start = perf()
+        generation, result, outcome = self._serve(queries)
+        elapsed = perf() - start
+        self._record_request(elapsed)
+        if tenant is not None:
+            series = self._tenant_series.get(tenant)
+            if series is None:
+                # Benign race: get-or-create is idempotent, losers just
+                # re-derive the same registry objects.
+                series = (
+                    self.metrics.histogram("serve.request_seconds", tenant=tenant),
+                    {
+                        o: self.metrics.counter("serve.requests", tenant=tenant, outcome=o)
+                        for o in ("hit", "miss", "empty", "uncached")
+                    },
+                )
+                self._tenant_series[tenant] = series
+            series[0].record(elapsed)
+            series[1][outcome].inc()
+        return generation, result
+
+    def _serve(
+        self, queries: Sequence[RangeQuery] | CompiledQueries
+    ) -> tuple[int, np.ndarray, str]:
+        """The serving core: ``(generation, result, cache outcome)``."""
         generation, model = self._current
         plan = compile_queries(queries, model.columns)
         if len(plan) == 0:
             # Zero-row plans never touch the model and never enter the cache:
             # caching them would spend LRU slots (and hash work) on answers
             # that are a constant empty vector.
-            return generation, np.zeros(0)
+            return generation, np.zeros(0), "empty"
         if self.cache_size == 0:
-            return generation, model.estimate_batch(plan)
+            return generation, model.estimate_batch(plan), "uncached"
         key = self._plan_key(generation, plan)
         with self._lock:
             cached = self._cache.get(key)
             if cached is not None:
                 self._cache.move_to_end(key)
                 self._hits += 1
-                return generation, cached
+                return generation, cached, "hit"
             self._misses += 1
         result = model.estimate_batch(plan)
         result.setflags(write=False)
@@ -235,7 +317,7 @@ class EstimatorServer:
                 self._cache.move_to_end(key)
                 while len(self._cache) > self.cache_size:
                     self._cache.popitem(last=False)
-        return generation, result
+        return generation, result, "miss"
 
     def estimate(self, query: RangeQuery) -> float:
         """Scalar sugar over a one-row batch (mirrors the estimator API)."""
@@ -278,6 +360,7 @@ class EstimatorServer:
         """
         if not model.is_fitted:
             raise NotFittedError("cannot publish an unfitted model")
+        publish_start = perf_counter() if self._instrumented else 0.0
         if isinstance(model, StreamingEstimator):
             model.flush()
         with self._lock:
@@ -290,6 +373,10 @@ class EstimatorServer:
                 del self._cache[key]
         if self.store is not None and self.model_name:
             self.store.publish(self.model_name, model)
+        if self._instrumented:
+            self.metrics.histogram("serve.publish_seconds").record(
+                perf_counter() - publish_start
+            )
         return generation
 
     def observe(

@@ -29,9 +29,11 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.errors import InvalidParameterError
+from repro.obs.metrics import default_metrics
 
 __all__ = ["ShardExecutor", "BACKENDS"]
 
@@ -55,10 +57,20 @@ class ShardExecutor:
         ``None`` means ``"serial"``.
     max_workers:
         Pool width; defaults to ``min(tasks, cpu_count)`` at call time.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`.  When enabled,
+        every :meth:`map` records its wall-clock span
+        (``shard.map_seconds``) and — on the serial/thread backends, where
+        the wrapper needs no pickling — each task's span
+        (``shard.task_seconds``), labelled with the caller-supplied ``op``.
+        Defaults to the process-default registry (no-op unless installed).
     """
 
     def __init__(
-        self, backend: str | None = "thread", max_workers: int | None = None
+        self,
+        backend: str | None = "thread",
+        max_workers: int | None = None,
+        metrics=None,
     ) -> None:
         backend = backend or "serial"
         if backend not in BACKENDS:
@@ -69,6 +81,7 @@ class ShardExecutor:
             raise InvalidParameterError("max_workers must be positive")
         self.backend = backend
         self.max_workers = max_workers
+        self.metrics = metrics if metrics is not None else default_metrics()
 
     def _pool(self, tasks: int) -> Executor | None:
         workers = self.max_workers or min(tasks, _cpu_count())
@@ -82,29 +95,55 @@ class ShardExecutor:
             return None  # restricted environment: serial fallback
 
     def map(
-        self, fn: Callable[..., Any], *iterables: Iterable[Any]
+        self, fn: Callable[..., Any], *iterables: Iterable[Any], op: str | None = None
     ) -> list[Any]:
         """Apply ``fn`` across zipped task arguments, preserving order.
 
         Equivalent to ``[fn(*args) for args in zip(*iterables)]`` with the
         work spread over the pool; falls back to exactly that loop when no
-        pool is available.
+        pool is available.  ``op`` labels the per-task telemetry series
+        (``"fit"``, ``"insert"``, ``"estimate"``, ...).
         """
         tasks: Sequence[tuple] = list(zip(*iterables))
         if not tasks:
             return []
-        pool = self._pool(len(tasks))
-        if pool is None:
-            return [fn(*args) for args in tasks]
+        instrumented = self.metrics.enabled
+        if instrumented:
+            map_start = perf_counter()
+            if self.backend != "process":
+                # Per-task spans need a closure over the histogram, which a
+                # process pool cannot pickle; process-backend runs are
+                # covered by the whole-map span below.
+                task_seconds = self.metrics.histogram(
+                    "shard.task_seconds", **({"op": op} if op else {})
+                )
+                inner = fn
+
+                def fn(*args: Any) -> Any:
+                    task_start = perf_counter()
+                    try:
+                        return inner(*args)
+                    finally:
+                        task_seconds.record(perf_counter() - task_start)
+
         try:
-            with pool:
-                return list(pool.map(fn, *map(list, zip(*tasks))))
-        except BrokenExecutor:
-            # The pool itself died (sandboxed fork/spawn, OOM-killed worker)
-            # — distinct from a *task* raising, which propagates above.
-            # Degrade to the serial reference path rather than failing the
-            # operation.
-            return [fn(*args) for args in tasks]
+            pool = self._pool(len(tasks))
+            if pool is None:
+                return [fn(*args) for args in tasks]
+            try:
+                with pool:
+                    return list(pool.map(fn, *map(list, zip(*tasks))))
+            except BrokenExecutor:
+                # The pool itself died (sandboxed fork/spawn, OOM-killed
+                # worker) — distinct from a *task* raising, which propagates
+                # above.  Degrade to the serial reference path rather than
+                # failing the operation.
+                return [fn(*args) for args in tasks]
+        finally:
+            if instrumented:
+                self.metrics.histogram(
+                    "shard.map_seconds", **({"op": op} if op else {})
+                ).record(perf_counter() - map_start)
 
     def describe(self) -> dict[str, Any]:
         """JSON description used by sharded-estimator configs."""

@@ -172,6 +172,7 @@ class ShardedEstimator(StreamingEstimator):
             sub_tables,
             [columns] * self.shard_count,
             [self._frame] * self.shard_count,
+            op="fit",
         )
         self._merged = None
         self._mark_fitted(columns, table.row_count)
@@ -247,6 +248,7 @@ class ShardedEstimator(StreamingEstimator):
             lambda shard, batch: shard.insert(batch),
             [shard for shard, _ in targets],
             [batch for _, batch in targets],
+            op="insert",
         )
         self._row_count += rows.shape[0]
         self._merged = None
@@ -255,7 +257,7 @@ class ShardedEstimator(StreamingEstimator):
         """Flush every streaming shard's pending ingestion buffer."""
         streaming = [s for s in self._shards if isinstance(s, StreamingEstimator)]
         if streaming:
-            self._serve_executor.map(lambda shard: shard.flush(), streaming)
+            self._serve_executor.map(lambda shard: shard.flush(), streaming, op="flush")
             self._merged = None
 
     # -- estimation ------------------------------------------------------------
@@ -296,7 +298,9 @@ class ShardedEstimator(StreamingEstimator):
         weights = self.shard_row_counts()
         if lows.shape[0] * self.shard_count >= _PARALLEL_ESTIMATE_THRESHOLD:
             raw = self._serve_executor.map(
-                lambda shard: shard._estimate_batch(lows, highs), self._shards
+                lambda shard: shard._estimate_batch(lows, highs),
+                self._shards,
+                op="estimate",
             )
         else:
             raw = [shard._estimate_batch(lows, highs) for shard in self._shards]

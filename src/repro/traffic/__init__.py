@@ -1,0 +1,20 @@
+"""Multi-tenant traffic simulation over the serving layer.
+
+Deterministic, seedable open-loop traffic: :class:`TenantProfile` describes
+one tenant's arrival process and op mix, :class:`TrafficSimulator` replays
+the derived schedule against a live :class:`~repro.serve.server.EstimatorServer`
+while recording per-tenant latency through :mod:`repro.obs`, and
+:class:`TrafficReport` carries the per-tenant p50/p95/p99 readouts the
+tail-latency benchmark gates on.
+"""
+
+from repro.traffic.simulator import TrafficEvent, TrafficReport, TrafficSimulator
+from repro.traffic.tenants import DEFAULT_TENANTS, TenantProfile
+
+__all__ = [
+    "DEFAULT_TENANTS",
+    "TenantProfile",
+    "TrafficEvent",
+    "TrafficReport",
+    "TrafficSimulator",
+]

@@ -1,0 +1,138 @@
+"""Tenant profiles for the multi-tenant traffic simulator.
+
+A :class:`TenantProfile` is a declarative description of one tenant's
+traffic: how often it arrives (rate / burstiness), what it does when it
+arrives (query / ingest / publish mix), and what its queries look like
+(plan-pool size, zipf skew over the pool, batch size, selectivity volume).
+Profiles are frozen value objects — the simulator derives every random
+decision from ``(seed, tenant index)``, so the same profiles under the same
+seed replay the same traffic exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["TenantProfile", "DEFAULT_TENANTS"]
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's traffic shape.
+
+    Parameters
+    ----------
+    name:
+        Tenant label; appears as the ``tenant=`` label on every telemetry
+        series the simulator records.
+    query_weight / ingest_weight / publish_weight:
+        Relative odds that an arrival is a query batch, an ingest batch
+        (checkout + insert + flush + publish), or a pure model re-publish
+        (churn).  At least one weight must be positive.
+    rate:
+        Mean arrivals per second of *virtual* time.  The simulator is
+        open-loop: arrival times are drawn up front and never stretched by
+        service time, which is what makes tail latency measurable.
+    burstiness:
+        Rate multiplier while the tenant is in its burst state (``1.0``
+        disables bursts).
+    burst_fraction:
+        Fraction of virtual time spent in the burst state.
+    plan_pool:
+        Number of distinct query plans the tenant rotates through.  Pools
+        smaller than the server cache make a tenant cache-friendly; larger
+        pools force recomputation.
+    zipf_s:
+        Zipf exponent for draws from the plan pool (``0`` = uniform).  Real
+        dashboards re-ask a few hot plans constantly; skew reproduces that.
+    queries_per_plan:
+        Queries per submitted batch (one plan = one ``estimate_batch`` call).
+    volume_fraction:
+        Target selectivity volume of generated range queries.
+    ingest_rows:
+        Rows per ingest batch.
+    typed:
+        Generate typed workloads (categorical predicates) when the table has
+        a schema with encoded columns; plain numeric ranges otherwise.
+    """
+
+    name: str
+    query_weight: float = 1.0
+    ingest_weight: float = 0.0
+    publish_weight: float = 0.0
+    rate: float = 100.0
+    burstiness: float = 1.0
+    burst_fraction: float = 0.2
+    plan_pool: int = 16
+    zipf_s: float = 1.1
+    queries_per_plan: int = 8
+    volume_fraction: float = 0.15
+    ingest_rows: int = 256
+    typed: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidParameterError("tenant name must be non-empty")
+        for weight_field in ("query_weight", "ingest_weight", "publish_weight"):
+            if getattr(self, weight_field) < 0:
+                raise InvalidParameterError(f"{weight_field} must be non-negative")
+        if self.query_weight + self.ingest_weight + self.publish_weight <= 0:
+            raise InvalidParameterError(
+                f"tenant {self.name!r} needs at least one positive op weight"
+            )
+        if self.rate <= 0:
+            raise InvalidParameterError("rate must be positive")
+        if self.burstiness < 1.0:
+            raise InvalidParameterError("burstiness must be >= 1 (1 disables bursts)")
+        if not 0.0 <= self.burst_fraction < 1.0:
+            raise InvalidParameterError("burst_fraction must be in [0, 1)")
+        if self.plan_pool < 1:
+            raise InvalidParameterError("plan_pool must be positive")
+        if self.zipf_s < 0:
+            raise InvalidParameterError("zipf_s must be non-negative")
+        if self.queries_per_plan < 1:
+            raise InvalidParameterError("queries_per_plan must be positive")
+        if not 0.0 < self.volume_fraction <= 1.0:
+            raise InvalidParameterError("volume_fraction must be in (0, 1]")
+        if self.ingest_rows < 1:
+            raise InvalidParameterError("ingest_rows must be positive")
+
+    @property
+    def op_weights(self) -> tuple[float, float, float]:
+        """Normalised ``(query, ingest, publish)`` probabilities."""
+        total = self.query_weight + self.ingest_weight + self.publish_weight
+        return (
+            self.query_weight / total,
+            self.ingest_weight / total,
+            self.publish_weight / total,
+        )
+
+    def describe(self) -> dict:
+        """JSON-serialisable profile description (for BENCH envelopes)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def _default_tenants() -> tuple[TenantProfile, ...]:
+    return (
+        TenantProfile(
+            name="dashboard", rate=200.0, plan_pool=8, zipf_s=1.2, burstiness=3.0
+        ),
+        TenantProfile(
+            name="adhoc", rate=60.0, plan_pool=64, zipf_s=0.0, volume_fraction=0.1
+        ),
+        TenantProfile(
+            name="ingest",
+            query_weight=0.2,
+            ingest_weight=1.0,
+            rate=20.0,
+            plan_pool=4,
+            ingest_rows=512,
+        ),
+    )
+
+
+#: A representative three-tenant mix: a cache-friendly dashboard, a
+#: cache-hostile ad-hoc analyst, and a write-heavy ingest pipeline.
+DEFAULT_TENANTS: tuple[TenantProfile, ...] = _default_tenants()

@@ -1,0 +1,104 @@
+"""Exporter registry resolution + lossless round-trips (JSON and JSONL)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.obs.export import (
+    JSONExporter,
+    JSONLExporter,
+    available_exporters,
+    create_exporter,
+    exporter_for_path,
+    exporter_from_config,
+    resolve_exporter,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def sample_payload() -> dict:
+    """A realistic simulator-run payload: report keys + registry snapshot."""
+    registry = MetricsRegistry()
+    registry.counter("traffic.ops", tenant="a", op="query").inc(7)
+    registry.gauge("serve.generation").set(3)
+    for v in (1e-4, 2e-4, 5e-3):
+        registry.histogram("traffic.op_seconds", tenant="a", op="query").record(v)
+    registry.histogram("serve.request_seconds").record(3e-5)
+    payload = {"duration": 2.0, "seed": 42, "checksum": 10.5, "tenants": {"a": {"p99": 0.005}}}
+    payload.update(registry.snapshot())
+    return payload
+
+
+class TestResolution:
+    def test_both_formats_registered(self) -> None:
+        assert {"json", "jsonl"} <= set(available_exporters())
+
+    def test_resolve_by_name(self) -> None:
+        assert isinstance(resolve_exporter("jsonl"), JSONLExporter)
+
+    def test_resolve_instance_passthrough(self) -> None:
+        exporter = JSONExporter(indent=0)
+        assert resolve_exporter(exporter) is exporter
+
+    def test_resolve_config_mapping(self) -> None:
+        exporter = resolve_exporter({"name": "json", "indent": 4})
+        assert isinstance(exporter, JSONExporter)
+        assert exporter.indent == 4
+
+    def test_config_round_trip(self) -> None:
+        exporter = JSONExporter(indent=4)
+        clone = resolve_exporter(exporter.config())
+        assert isinstance(clone, JSONExporter) and clone.indent == 4
+
+    def test_unknown_name_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError, match="unknown exporter"):
+            create_exporter("parquet")
+
+    def test_config_requires_name(self) -> None:
+        with pytest.raises(InvalidParameterError, match="name"):
+            exporter_from_config({"indent": 2})
+
+    def test_bad_spec_type_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            resolve_exporter(3.14)
+
+    def test_exporter_for_path_by_suffix(self, tmp_path) -> None:
+        assert isinstance(exporter_for_path(tmp_path / "m.jsonl"), JSONLExporter)
+        assert isinstance(exporter_for_path(tmp_path / "m.json"), JSONExporter)
+        assert isinstance(exporter_for_path(tmp_path / "m.txt"), JSONExporter)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["json", "jsonl"])
+    def test_lossless_round_trip(self, name, tmp_path) -> None:
+        exporter = create_exporter(name)
+        payload = sample_payload()
+        path = exporter.export(payload, tmp_path / f"metrics{exporter.suffix}")
+        assert exporter.load(path) == payload
+
+    @pytest.mark.parametrize("name", ["json", "jsonl"])
+    def test_dumps_loads_inverse(self, name) -> None:
+        exporter = create_exporter(name)
+        payload = sample_payload()
+        assert exporter.loads(exporter.dumps(payload)) == payload
+
+    def test_jsonl_one_record_per_metric(self) -> None:
+        payload = sample_payload()
+        lines = JSONLExporter().dumps(payload).strip().splitlines()
+        metric_count = sum(
+            len(payload[s]) for s in ("counters", "gauges", "histograms")
+        )
+        assert len(lines) == 1 + metric_count  # meta + one line per metric
+
+    def test_jsonl_rejects_headless_file(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            JSONLExporter().loads('{"record": "counters", "key": "x", "data": {}}\n')
+
+    def test_jsonl_rejects_empty(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            JSONLExporter().loads("")
+
+    def test_export_creates_parent_dirs(self, tmp_path) -> None:
+        path = JSONExporter().export({"a": 1}, tmp_path / "deep" / "dir" / "m.json")
+        assert path.is_file()

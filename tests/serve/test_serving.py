@@ -407,3 +407,111 @@ class TestServedEnsembleFeedback:
         assert stats["generation_swaps"] == self.ROUNDS
         assert stats["cache_invalidations"] >= 1
         assert all(key[0] == server.generation for key in server._cache)
+
+
+class TestServerTelemetry:
+    """PR-8 satellites: one hit-rate source, reset_stats, torn-pair freedom,
+    and the instrumented request path's metrics registry contents."""
+
+    def test_hit_rate_single_source(self, table, plan) -> None:
+        from repro.obs.metrics import hit_rate
+
+        server = EstimatorServer(StreamingADE(max_kernels=32).fit(table), cache_size=8)
+        server.estimate_batch(plan)
+        server.estimate_batch(plan)
+        info = server.cache_info()
+        assert info.hit_rate == hit_rate(info.hits, info.misses)
+        assert server.stats()["hit_rate"] == info.hit_rate
+
+    def test_reset_stats_clears_counters_not_generation(self, table, plan) -> None:
+        server = EstimatorServer(StreamingADE(max_kernels=32).fit(table), cache_size=8)
+        server.estimate_batch(plan)
+        server.estimate_batch(plan)
+        server.publish(server.checkout())
+        server.reset_stats()
+        stats = server.stats()
+        assert stats["cache_hits"] == 0
+        assert stats["cache_misses"] == 0
+        assert stats["cache_invalidations"] == 0
+        # the generation bookkeeping must survive a counter reset:
+        assert stats["generation_swaps"] == 1
+        assert stats["generation"] == 1 + stats["generation_swaps"]
+
+    def test_instrumented_request_path_records(self, table, plan) -> None:
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        server = EstimatorServer(
+            StreamingADE(max_kernels=32).fit(table), cache_size=8, metrics=metrics
+        )
+        server.estimate_batch(plan)                      # unlabelled miss
+        server.estimate_batch(plan, tenant="a")          # labelled hit
+        server.estimate_batch(plan, tenant="a")          # labelled hit
+        assert metrics.histogram("serve.request_seconds").count == 3
+        assert metrics.histogram("serve.request_seconds", tenant="a").count == 2
+        assert metrics.counter("serve.requests", tenant="a", outcome="hit").value == 2
+        server.publish(server.checkout())
+        assert metrics.histogram("serve.publish_seconds").count == 1
+        gauges = metrics.snapshot()["gauges"]
+        assert gauges["serve.generation"]["value"] == 2.0
+        assert gauges["serve.generation_swaps"]["value"] == 1.0
+        assert gauges["serve.hit_rate"]["value"] == pytest.approx(2 / 3)
+
+    def test_uninstrumented_by_default(self, table, plan) -> None:
+        server = EstimatorServer(StreamingADE(max_kernels=32).fit(table), cache_size=8)
+        assert not server._instrumented
+        # tenant labels are accepted and ignored without a registry
+        server.estimate_batch(plan, tenant="a")
+
+    def test_stats_never_torn_under_concurrent_publishes(self, table, plan) -> None:
+        """generation == 1 + generation_swaps in *every* stats()/snapshot
+        readout, even while whole-model publish() and per-shard
+        publish_shard() race each other."""
+        from repro.obs.metrics import MetricsRegistry
+        from repro.shard.sharded import ShardedEstimator
+
+        metrics = MetricsRegistry()
+        sharded = ShardedEstimator("equiwidth", shards=2).fit(table)
+        server = EstimatorServer(sharded, cache_size=8, metrics=metrics)
+        stop = threading.Event()
+        torn: list[str] = []
+
+        def whole_model_writer() -> None:
+            for _ in range(30):
+                server.publish(server.checkout())
+
+        def shard_writer(shard_id: int) -> None:
+            for _ in range(30):
+                server.publish_shard(shard_id, server.checkout_shard(shard_id))
+
+        def sampler() -> None:
+            while not stop.is_set():
+                stats = server.stats()
+                if stats["generation"] != 1 + stats["generation_swaps"]:
+                    torn.append(
+                        f"stats: gen={stats['generation']} "
+                        f"swaps={stats['generation_swaps']}"
+                    )
+                gauges = metrics.snapshot()["gauges"]
+                if (
+                    gauges["serve.generation"]["value"]
+                    < gauges["serve.generation_swaps"]["value"]
+                ):
+                    torn.append("snapshot: generation behind swap counter")
+
+        threads = [
+            threading.Thread(target=whole_model_writer),
+            threading.Thread(target=shard_writer, args=(0,)),
+            threading.Thread(target=shard_writer, args=(1,)),
+        ]
+        watcher = threading.Thread(target=sampler)
+        watcher.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        stop.set()
+        watcher.join(timeout=60)
+        assert not torn, torn
+        stats = server.stats()
+        assert stats["generation"] == 1 + stats["generation_swaps"] == 91
