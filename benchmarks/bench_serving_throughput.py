@@ -28,7 +28,7 @@ import numpy as np
 from repro.core.streaming import StreamingADE
 from repro.data.generators import gaussian_mixture_table
 from repro.experiments.runner import TableResult
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, TelemetryCollector
 from repro.serve import EstimatorServer
 from repro.workload.generators import UniformWorkload
 from repro.workload.queries import compile_queries
@@ -43,20 +43,31 @@ MIN_CACHED_SPEEDUP = 2.0
 #: Acceptance gate: instrumented warm-cache throughput over uninstrumented.
 MIN_TELEMETRY_RATIO = 0.95
 
+#: Acceptance gate: instrumented throughput with a live background
+#: TelemetryCollector sampling the registry, over uninstrumented.
+MIN_COLLECTED_RATIO = 0.90
+
+#: Sampling period of the collector during the overhead measurement — far
+#: more aggressive than a production cadence, so the gate is conservative.
+COLLECT_INTERVAL = 0.05
+
 
 def telemetry_overhead(
     model: StreamingADE, plan, repeats: int, trials: int = 7
-) -> tuple[float, float, float, float]:
+) -> tuple[float, float, float, float, float]:
     """Warm-cache QPS with and without an attached metrics registry.
 
     Interleaved paired trials: each trial times the same repeat loop on a
-    plain server, an instrumented one (per-request latency histogram), and
-    an instrumented one also recording per-tenant labelled series, then the
-    *minimum paired delta* between adjacent loops is taken as the
-    instrumentation cost — the estimator that survives scheduler and
-    frequency jitter far larger than the sub-microsecond delta under
-    measurement.  Returns ``(plain_qps, instrumented_qps,
-    instrumented/plain ratio, tenant-labelled ratio)``.
+    plain server, an instrumented one (per-request latency histogram), an
+    instrumented one also recording per-tenant labelled series, and the
+    tenant-labelled loop again with a live background
+    :class:`~repro.obs.TelemetryCollector` sampling the registry every
+    ``COLLECT_INTERVAL`` seconds; the *minimum paired delta* between
+    adjacent loops is taken as the instrumentation cost — the estimator that
+    survives scheduler and frequency jitter far larger than the
+    sub-microsecond delta under measurement.  Returns ``(plain_qps,
+    instrumented_qps, instrumented/plain ratio, tenant-labelled ratio,
+    collected ratio)``.
     """
     plain = EstimatorServer(model, cache_size=64)
     instrumented = EstimatorServer(model, cache_size=64, metrics=MetricsRegistry())
@@ -80,7 +91,7 @@ def telemetry_overhead(
     # the intrinsic instrumentation cost — any scheduler preemption, gc pause
     # or frequency excursion only ever inflates a delta, never deflates all
     # of them, so the minimum is the estimate least polluted by interference.
-    plain_times, deltas, tenant_deltas = [], [], []
+    plain_times, deltas, tenant_deltas, collected_deltas = [], [], [], []
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
@@ -88,23 +99,37 @@ def telemetry_overhead(
             t_plain = loop(plain)
             t_instrumented = loop(instrumented)
             t_tenant = loop(instrumented, tenant="bench")
+            # Collector running only around its own loop: the paired delta
+            # then includes the snapshot/diff work stealing cycles from the
+            # request path, which is exactly the cost under test.
+            collector = TelemetryCollector(
+                instrumented.metrics, interval=COLLECT_INTERVAL
+            ).start()
+            try:
+                t_collected = loop(instrumented, tenant="bench")
+            finally:
+                collector.stop(final_tick=False)
             plain_times.append(t_plain)
             deltas.append(t_instrumented - t_plain)
             tenant_deltas.append(t_tenant - t_plain)
+            collected_deltas.append(t_collected - t_plain)
     finally:
         if gc_was_enabled:
             gc.enable()
     per_call_plain = statistics.median(plain_times) / repeats
     overhead = max(min(deltas) / repeats, 0.0)
     tenant_overhead = max(min(tenant_deltas) / repeats, 0.0)
+    collected_overhead = max(min(collected_deltas) / repeats, 0.0)
     plain_qps = len(plan) / max(per_call_plain, 1e-12)
     instrumented_qps = len(plan) / max(per_call_plain + overhead, 1e-12)
     tenant_qps = len(plan) / max(per_call_plain + tenant_overhead, 1e-12)
+    collected_qps = len(plan) / max(per_call_plain + collected_overhead, 1e-12)
     return (
         plain_qps,
         instrumented_qps,
         instrumented_qps / plain_qps,
         tenant_qps / plain_qps,
+        collected_qps / plain_qps,
     )
 
 
@@ -145,9 +170,13 @@ def serving_throughput(
     # server (per-request latency histogram; per-tenant series measured too).
     # More repeats than the headline loop: a sub-microsecond per-call delta
     # needs a longer window than cache-speedup measurement does.
-    plain_qps, instrumented_qps, telemetry_ratio, tenant_ratio = telemetry_overhead(
-        model, plan, max(repeats, 200)
-    )
+    (
+        plain_qps,
+        instrumented_qps,
+        telemetry_ratio,
+        tenant_ratio,
+        collected_ratio,
+    ) = telemetry_overhead(model, plan, max(repeats, 200))
 
     # Concurrent ingest-while-serve: readers vs. one publishing writer.
     stop = threading.Event()
@@ -191,6 +220,10 @@ def serving_throughput(
             ["server, instrumented", instrumented_qps, telemetry_ratio,
              f"{telemetry_ratio:.3f}x of uninstrumented ({plain_qps:,.0f} qps); "
              f"{tenant_ratio:.3f}x with per-tenant labels"],
+            ["server, instrumented+collected", plain_qps * collected_ratio,
+             collected_ratio,
+             f"{collected_ratio:.3f}x of uninstrumented with a live collector "
+             f"sampling every {COLLECT_INTERVAL * 1000:.0f} ms"],
             ["server, concurrent", concurrent_qps, concurrent_qps / bare_qps,
              f"{readers} readers, {publishes[0]} live publishes"],
         ],
@@ -231,6 +264,18 @@ def test_serving_throughput(report):
             detail=ratio,
             enforced=not SMOKE,
         ) or SMOKE, f"instrumented/uninstrumented ratio {ratio:.3f} < {MIN_TELEMETRY_RATIO}"
+        # A live collector sampling the registry must stay near-free too:
+        # instrumented+collected throughput within 10% of uninstrumented.
+        collected = rows["server, instrumented+collected"][2]
+        rep.metric("collected_overhead_ratio", collected)
+        assert rep.gate(
+            "collected_overhead_ge_0_90",
+            collected >= MIN_COLLECTED_RATIO,
+            detail=collected,
+            enforced=not SMOKE,
+        ) or SMOKE, (
+            f"instrumented+collected ratio {collected:.3f} < {MIN_COLLECTED_RATIO}"
+        )
         # Liveness: the writer must have published while readers were served.
         assert rep.gate(
             "concurrent_reads_alive",

@@ -286,6 +286,10 @@ def main() -> None:
             f"{len(sections['counters'])} counters, "
             f"{len(sections['histograms'])} histograms"
         )
+    # Beyond snapshots: a repro.TelemetryCollector samples a registry on an
+    # interval into delta/rate time series (columnar CSV/parquet export,
+    # self-contained HTML dashboards, tail-driven admission control) — see
+    # examples/telemetry_traffic.py for the full loop.
 
 
 if __name__ == "__main__":

@@ -20,10 +20,15 @@ simulator:
    checkout → insert → flush → publish cycles bump the serving generation
    and invalidate every cached plan — the cross-tenant interference
    mechanism the tail-latency benchmark gates.
-3. The run's report (per-tenant p50/p99 per op) and the full registry
+3. A :class:`~repro.obs.TelemetryCollector` ticks at virtual-time interval
+   boundaries during the run, diffing registry snapshots into per-metric
+   delta/rate time series with windowed rollups.
+4. The run's report (per-tenant p50/p99 per op) and the full registry
    snapshot are exported through the pluggable exporter registry — JSON
-   for humans, JSONL (one record per metric) for line-oriented collectors
-   — and read back losslessly.
+   for humans, JSONL (one record per metric) for line-oriented collectors,
+   CSV (one row per series point) for columnar tooling — and read back
+   losslessly.  The collected series also renders as a self-contained
+   static HTML dashboard (inline SVG sparklines, zero third-party deps).
 
 Two runs with the same seed execute the identical op sequence (the report
 checksum proves it), so latency differences between runs measure the
@@ -40,10 +45,12 @@ from repro import (
     EstimatorServer,
     MetricsRegistry,
     StreamingADE,
+    TelemetryCollector,
     TenantProfile,
     TrafficSimulator,
     exporter_for_path,
     gaussian_mixture_table,
+    write_dashboard,
 )
 
 
@@ -73,7 +80,13 @@ def main() -> None:
             ingest_rows=512,
         ),
     )
-    simulator = TrafficSimulator(server, table, tenants=tenants, seed=42)
+    # ... and a collector sampling the registry every 0.1s of virtual time:
+    # the simulator ticks it at interval boundaries, so the series timeline
+    # is the deterministic schedule's, not the wall clock's.
+    collector = TelemetryCollector(registry, interval=0.1)
+    simulator = TrafficSimulator(
+        server, table, tenants=tenants, seed=42, collector=collector
+    )
 
     # 4. The schedule is a pure function of (profiles, seed, duration) —
     #    inspectable before anything executes.
@@ -113,8 +126,17 @@ def main() -> None:
         f"p99 {dashboard.quantile(0.99) * 1e3:.2f}ms"
     )
 
-    # 7. Export the report + registry snapshot through both exporters and
-    #    read them back losslessly.
+    # 7. The collector turned the run into time series: per-metric
+    #    delta/rate points with windowed rollups.
+    qps = collector.store.window_rate("traffic.ops{op=query,tenant=dashboard}", None)
+    print(
+        f"collector: {len(collector.store.keys())} series, "
+        f"{len(collector.store)} points; dashboard query rate {qps:.0f}/s"
+    )
+
+    # 8. Export the report + registry snapshot through the exporters and
+    #    read them back losslessly; the collected series goes to columnar
+    #    CSV and renders as a self-contained offline dashboard.
     with tempfile.TemporaryDirectory() as root:
         for suffix in (".json", ".jsonl"):
             path = report.export(Path(root) / f"traffic{suffix}", metrics=registry)
@@ -124,8 +146,21 @@ def main() -> None:
                 f"exported {path.name}: {len(loaded['histograms'])} histogram "
                 f"series, checksum round-tripped"
             )
+        series_path = Path(root) / "traffic.series.csv"
+        exporter_for_path(series_path).export(
+            collector.series_payload(run="example"), series_path
+        )
+        loaded_series = exporter_for_path(series_path).load(series_path)
+        assert loaded_series["points"] == collector.series_payload(run="example")["points"]
+        html = write_dashboard(
+            collector, Path(root) / "traffic.html", title="telemetry_traffic example"
+        )
+        print(
+            f"exported {series_path.name}: {len(loaded_series['points'])} points "
+            f"round-tripped; dashboard {html.name}: {html.stat().st_size} bytes"
+        )
 
-    # 8. Determinism probe: a fresh simulator over a fresh server, same seed
+    # 9. Determinism probe: a fresh simulator over a fresh server, same seed
     #    — the identical op sequence executes (checksums differ only if the
     #    *model* differs).
     replay_server = EstimatorServer(StreamingADE(max_kernels=128).fit(table), cache_size=32)

@@ -141,17 +141,28 @@ from repro.persist import (
     save_sharded,
 )
 from repro.obs import (
+    CSVExporter,
     JSONExporter,
     JSONLExporter,
     LatencyHistogram,
     MetricsExporter,
     MetricsRegistry,
+    ParquetExporter,
+    TelemetryCollector,
+    TimeSeriesStore,
     exporter_for_path,
+    render_dashboard,
     resolve_exporter,
     set_default_metrics,
     use_default_metrics,
+    write_dashboard,
 )
-from repro.serve import EstimatorServer, ServerCacheInfo
+from repro.serve import (
+    AdmissionController,
+    EstimatorServer,
+    ServerCacheInfo,
+    TenantQuota,
+)
 from repro.shard import (
     HashPartitioner,
     Partitioner,
@@ -275,6 +286,8 @@ __all__ = [
     "load_sharded",
     "EstimatorServer",
     "ServerCacheInfo",
+    "AdmissionController",
+    "TenantQuota",
     # observability & traffic
     "MetricsRegistry",
     "LatencyHistogram",
@@ -283,8 +296,14 @@ __all__ = [
     "MetricsExporter",
     "JSONExporter",
     "JSONLExporter",
+    "CSVExporter",
+    "ParquetExporter",
+    "TelemetryCollector",
+    "TimeSeriesStore",
     "exporter_for_path",
     "resolve_exporter",
+    "render_dashboard",
+    "write_dashboard",
     "TrafficSimulator",
     "TenantProfile",
     "TrafficEvent",

@@ -35,6 +35,16 @@ to ``PATH`` through the exporter matching its suffix (``.json`` /
 ``.jsonl``)::
 
     python -m repro.experiments --telemetry runs/table1.jsonl table1
+
+``--collect-interval SECONDS`` (with ``--telemetry``) additionally runs a
+background :class:`~repro.obs.collector.TelemetryCollector` over the run's
+registry, turning the snapshot into delta/rate time series; the series is
+exported next to the snapshot as ``<PATH stem>.series<PATH suffix>``.
+``--dashboard HTML_PATH`` renders the collected series (or, without a
+collector, a single end-of-run sample) as a self-contained HTML dashboard::
+
+    python -m repro.experiments --telemetry runs/t1.csv \
+        --collect-interval 0.5 --dashboard runs/t1.html table1
 """
 
 from __future__ import annotations
@@ -122,7 +132,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--telemetry",
         metavar="PATH",
         help="record run telemetry into a metrics registry and export the "
-        "snapshot to PATH (exporter chosen by suffix: .json / .jsonl)",
+        "snapshot to PATH (exporter chosen by suffix: .json / .jsonl / .csv)",
+    )
+    parser.add_argument(
+        "--collect-interval",
+        type=float,
+        metavar="SECONDS",
+        help="with --telemetry: sample the registry every SECONDS on a "
+        "background collector and export the delta/rate series next to the "
+        "snapshot (as '<stem>.series<suffix>')",
+    )
+    parser.add_argument(
+        "--dashboard",
+        metavar="HTML_PATH",
+        help="with --telemetry: render the collected series as a "
+        "self-contained HTML dashboard at HTML_PATH",
     )
     parser.add_argument(
         "experiment",
@@ -164,21 +188,35 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
     extra = use_estimators(args.estimator) if args.estimator else nullcontext()
 
+    if (args.collect_interval or args.dashboard) and not args.telemetry:
+        raise SystemExit("--collect-interval and --dashboard require --telemetry")
+    if args.collect_interval is not None and args.collect_interval <= 0:
+        raise SystemExit("--collect-interval must be positive")
+
     if args.telemetry:
         from repro.core.fastpath import set_route_metrics
+        from repro.obs.collector import TelemetryCollector
         from repro.obs.export import exporter_for_path
         from repro.obs.metrics import MetricsRegistry, use_default_metrics
 
         registry = MetricsRegistry()
         telemetry = use_default_metrics(registry)
+        collector = TelemetryCollector(
+            registry, interval=args.collect_interval or 1.0
+        )
     else:
         registry = None
+        collector = None
         telemetry = nullcontext()
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     with context, sharding, extra, telemetry:
         if registry is not None:
             set_route_metrics(registry)
+        if collector is not None and args.collect_interval:
+            collector.start()
+        elif collector is not None and args.dashboard:
+            collector.tick()  # baseline: the end-of-run tick diffs against this
         try:
             for name in names:
                 timer = (
@@ -193,11 +231,29 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(result.render())
                 print()
         finally:
+            if collector is not None and args.collect_interval:
+                collector.stop()
+            elif collector is not None and args.dashboard:
+                collector.tick()  # one end-of-run sample for the dashboard
             if registry is not None:
                 set_route_metrics(None)
     if registry is not None:
+        import pathlib
+
         path = exporter_for_path(args.telemetry).export(registry.snapshot(), args.telemetry)
         print(f"telemetry snapshot written to {path}")
+        if args.collect_interval:
+            target = pathlib.Path(args.telemetry)
+            series_path = target.with_name(f"{target.stem}.series{target.suffix}")
+            exporter_for_path(series_path).export(
+                collector.series_payload(), series_path
+            )
+            print(f"telemetry series written to {series_path}")
+        if args.dashboard:
+            from repro.obs.dashboard import write_dashboard
+
+            html = write_dashboard(collector, args.dashboard)
+            print(f"telemetry dashboard written to {html}")
     return 0
 
 

@@ -11,8 +11,21 @@ and sits below every instrumented layer:
   managers/decorators, and the no-op :data:`~repro.obs.metrics.NULL_REGISTRY`
   default that keeps uninstrumented hot paths at one-branch cost.
 * :mod:`repro.obs.export` — the exporter registry (``"json"`` /
-  ``"jsonl"``, registry-keyed so columnar formats can slot in later) that
-  serialises registry snapshots losslessly.
+  ``"jsonl"`` plus the columnar formats below, registry-keyed) that
+  serialises registry snapshots and collector series losslessly.
+* :mod:`repro.obs.columnar` — columnar exporters: stdlib ``"csv"`` (one
+  row per point, JSON-encoded cells, lossless) and optional ``"parquet"``
+  (pyarrow-gated; registers and constructs without the dependency, raises
+  cleanly on use).
+* :mod:`repro.obs.collector` — :class:`~repro.obs.collector.TelemetryCollector`
+  sampling a registry on an interval (or explicit ``tick()``), diffing
+  consecutive snapshots into per-metric delta/rate series with
+  histogram-quantile readouts, retained in a bounded
+  :class:`~repro.obs.collector.TimeSeriesStore` with trailing-window
+  rollups (rate, mean, p50/p95/p99).
+* :mod:`repro.obs.dashboard` — static self-contained HTML dashboards
+  (inline SVG sparklines, per-tenant SLO grading) rendered from a live
+  collector or any exported series file, zero third-party dependencies.
 
 Instrumented layers: :class:`~repro.serve.EstimatorServer` (per-request
 latency, cache hits/misses, generation swaps, per-tenant labels),
@@ -23,6 +36,16 @@ query fast path's culled-vs-dense routing counters
 (:func:`repro.core.fastpath.set_route_metrics`).
 """
 
+from repro.obs.collector import (
+    SeriesPoint,
+    TelemetryCollector,
+    TimeSeriesStore,
+    WindowRollup,
+    series_payload,
+    store_from_payload,
+)
+from repro.obs.columnar import HAVE_PYARROW, CSVExporter, ParquetExporter
+from repro.obs.dashboard import load_series, render_dashboard, write_dashboard
 from repro.obs.export import (
     JSONExporter,
     JSONLExporter,
@@ -31,6 +54,7 @@ from repro.obs.export import (
     create_exporter,
     exporter_for_path,
     exporter_from_config,
+    exporter_suffixes,
     register_exporter,
     resolve_exporter,
 )
@@ -63,10 +87,23 @@ __all__ = [
     "MetricsExporter",
     "JSONExporter",
     "JSONLExporter",
+    "CSVExporter",
+    "ParquetExporter",
+    "HAVE_PYARROW",
     "register_exporter",
     "create_exporter",
     "exporter_from_config",
     "available_exporters",
     "resolve_exporter",
     "exporter_for_path",
+    "exporter_suffixes",
+    "SeriesPoint",
+    "TimeSeriesStore",
+    "TelemetryCollector",
+    "WindowRollup",
+    "series_payload",
+    "store_from_payload",
+    "render_dashboard",
+    "write_dashboard",
+    "load_series",
 ]

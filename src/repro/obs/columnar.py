@@ -1,0 +1,267 @@
+"""Columnar exporters: stdlib CSV plus an optional Arrow/Parquet backend.
+
+Both formats emit **one row per (timestamp, metric, labels) point** when the
+payload is a collector series (:func:`repro.obs.collector.series_payload`,
+recognised by its ``"points"`` list); any other metrics payload — e.g. a raw
+registry snapshot — falls back to one row per metric keyed by section, the
+same decomposition the JSONL exporter uses.  Either way the round-trip is
+lossless: every cell is JSON-encoded, so ``None`` vs ``0.0``, nested label
+mappings and sparse bucket dicts all survive ``export`` → ``load`` exactly.
+
+``csv`` is stdlib-only and always available.  ``parquet`` needs ``pyarrow``:
+the exporter class registers and constructs unconditionally (so
+:func:`~repro.obs.export.exporter_for_path` can enumerate suffixes without
+the dependency installed) but raises a clear :class:`InvalidParameterError`
+the moment serialisation is attempted without pyarrow — callers and tests
+gate on :data:`HAVE_PYARROW`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from typing import Any, Mapping
+
+from repro.core.errors import InvalidParameterError
+from repro.obs.export import _SECTIONS, MetricsExporter, register_exporter
+
+try:  # optional columnar backend — never required at import time
+    import pyarrow as _pa
+    import pyarrow.parquet as _pq
+
+    HAVE_PYARROW = True
+except ImportError:  # pragma: no cover - exercised only without pyarrow
+    _pa = _pq = None
+    HAVE_PYARROW = False
+
+__all__ = ["CSVExporter", "ParquetExporter", "HAVE_PYARROW", "POINT_COLUMNS"]
+
+#: Column order of a series-payload row (matches ``SeriesPoint.to_record``).
+POINT_COLUMNS = (
+    "time",
+    "metric",
+    "labels",
+    "kind",
+    "value",
+    "delta",
+    "rate",
+    "total",
+    "mean",
+    "p50",
+    "p95",
+    "p99",
+    "buckets",
+)
+
+#: Fallback column order for non-series payloads (one row per metric).
+_SECTION_COLUMNS = ("section", "key", "data")
+
+
+def _split_meta(payload: Mapping[str, Any]) -> tuple[dict[str, Any], bool]:
+    """Non-row keys of ``payload`` plus whether it is a series payload."""
+    is_series = "points" in payload
+    drop = ("points",) if is_series else _SECTIONS
+    return {k: v for k, v in payload.items() if k not in drop}, is_series
+
+
+def _rows(payload: Mapping[str, Any], is_series: bool) -> list[dict[str, Any]]:
+    if is_series:
+        return [dict(record) for record in payload["points"]]
+    return [
+        {"section": section, "key": key, "data": data}
+        for section in _SECTIONS
+        if section in payload
+        for key, data in payload[section].items()
+    ]
+
+
+#: Columns only histogram points carry (``SeriesPoint.to_record`` omits them
+#: on counter/gauge records, so the columnar null stands for "absent").
+_HISTOGRAM_ONLY = ("total", "mean", "p50", "p95", "p99", "buckets")
+
+
+def _strip_absent(row: dict[str, Any]) -> dict[str, Any]:
+    """Drop columnar nulls that encode keys the point kind never carries."""
+    if row.get("kind") != "histogram":
+        for column in _HISTOGRAM_ONLY:
+            row.pop(column, None)
+    return row
+
+
+def _reassemble(
+    meta: dict[str, Any], rows: list[dict[str, Any]], is_series: bool
+) -> dict[str, Any]:
+    payload = dict(meta)
+    if is_series:
+        payload["points"] = rows
+        return payload
+    for section in meta.get("sections", ()):  # preserve empty sections
+        payload.setdefault(section, {})
+    payload.pop("sections", None)
+    for row in rows:
+        payload.setdefault(row["section"], {})[row["key"]] = row["data"]
+    return payload
+
+
+@register_exporter("csv")
+class CSVExporter(MetricsExporter):
+    """Stdlib CSV with JSON-encoded cells — columnar yet lossless.
+
+    Line 1 is a ``#meta {json}`` comment carrying every non-row payload key
+    (sampling interval, store capacity, run metadata) plus the payload
+    shape; line 2 is the header; every further line is one point (series
+    payloads) or one metric (snapshot payloads).  JSON-encoding each cell
+    keeps types exact — ``null`` ≠ ``0.0``, labels and sparse histogram
+    buckets stay structured — while the file still opens in any spreadsheet
+    or dataframe tool.
+    """
+
+    suffix = ".csv"
+
+    def dumps(self, payload: Mapping[str, Any]) -> str:
+        meta, is_series = _split_meta(payload)
+        if not is_series:
+            meta = dict(meta)
+            meta["sections"] = [s for s in _SECTIONS if s in payload]
+        columns = POINT_COLUMNS if is_series else _SECTION_COLUMNS
+        buffer = io.StringIO()
+        buffer.write(
+            "#meta "
+            + json.dumps({"series": is_series, "data": meta}, sort_keys=True)
+            + "\n"
+        )
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(columns)
+        for row in _rows(payload, is_series):
+            writer.writerow(
+                [json.dumps(row.get(column), sort_keys=True) for column in columns]
+            )
+        return buffer.getvalue()
+
+    def loads(self, text: str) -> dict[str, Any]:
+        lines = text.splitlines()
+        if not lines or not lines[0].startswith("#meta "):
+            raise InvalidParameterError(
+                "CSV metrics file must start with a '#meta' line"
+            )
+        head = json.loads(lines[0][len("#meta "):])
+        is_series = bool(head.get("series"))
+        reader = csv.reader(lines[1:])
+        try:
+            columns = next(reader)
+        except StopIteration:
+            raise InvalidParameterError("CSV metrics file has no header row") from None
+        rows = []
+        for cells in reader:
+            row = {
+                column: json.loads(cell) for column, cell in zip(columns, cells)
+            }
+            if is_series:
+                row = _strip_absent(row)
+            rows.append(row)
+        return _reassemble(dict(head.get("data", {})), rows, is_series)
+
+
+@register_exporter("parquet")
+class ParquetExporter(MetricsExporter):
+    """Apache Parquet via ``pyarrow`` (optional dependency, binary format).
+
+    Same row model as :class:`CSVExporter` — numeric columns are native
+    float64/strings, structured cells (labels, buckets) are JSON strings,
+    payload metadata rides in the Parquet schema metadata.  Constructing the
+    exporter never needs pyarrow (suffix-based resolution must be able to
+    enumerate it); any serialisation without pyarrow raises
+    :class:`InvalidParameterError`.
+    """
+
+    suffix = ".parquet"
+
+    @staticmethod
+    def _require_pyarrow() -> None:
+        if not HAVE_PYARROW:
+            raise InvalidParameterError(
+                "parquet exporter requires pyarrow, which is not installed; "
+                "use the 'csv', 'json' or 'jsonl' exporter instead"
+            )
+
+    def dumps(self, payload: Mapping[str, Any]) -> str:
+        raise InvalidParameterError(
+            "parquet is a binary format; use export()/load(), not dumps()/loads()"
+        )
+
+    def loads(self, text: str) -> dict[str, Any]:
+        raise InvalidParameterError(
+            "parquet is a binary format; use export()/load(), not dumps()/loads()"
+        )
+
+    def export(
+        self, payload: Mapping[str, Any], path: "str | pathlib.Path"
+    ) -> pathlib.Path:
+        self._require_pyarrow()
+        meta, is_series = _split_meta(payload)
+        if not is_series:
+            meta = dict(meta)
+            meta["sections"] = [s for s in _SECTIONS if s in payload]
+        rows = _rows(payload, is_series)
+        if is_series:
+            arrays: dict[str, Any] = {}
+            for column in POINT_COLUMNS:
+                cells = [row.get(column) for row in rows]
+                if column in ("labels", "buckets"):
+                    arrays[column] = [
+                        json.dumps(cell, sort_keys=True) if cell is not None else None
+                        for cell in cells
+                    ]
+                else:
+                    arrays[column] = cells
+            table = _pa.table(
+                {column: _pa.array(arrays[column]) for column in POINT_COLUMNS}
+            )
+        else:
+            table = _pa.table(
+                {
+                    "section": _pa.array([row["section"] for row in rows]),
+                    "key": _pa.array([row["key"] for row in rows]),
+                    "data": _pa.array(
+                        [json.dumps(row["data"], sort_keys=True) for row in rows]
+                    ),
+                }
+            )
+        table = table.replace_schema_metadata(
+            {
+                "repro.meta": json.dumps(
+                    {"series": is_series, "data": meta}, sort_keys=True
+                )
+            }
+        )
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _pq.write_table(table, path)
+        return path
+
+    def load(self, path: "str | pathlib.Path") -> dict[str, Any]:
+        self._require_pyarrow()
+        table = _pq.read_table(pathlib.Path(path))
+        raw_meta = (table.schema.metadata or {}).get(b"repro.meta")
+        if raw_meta is None:
+            raise InvalidParameterError(
+                f"{path} is not a repro metrics parquet file (missing metadata)"
+            )
+        head = json.loads(raw_meta)
+        is_series = bool(head.get("series"))
+        columns = {name: table.column(name).to_pylist() for name in table.column_names}
+        count = table.num_rows
+        rows = []
+        for index in range(count):
+            row = {name: values[index] for name, values in columns.items()}
+            if is_series:
+                for column in ("labels", "buckets"):
+                    if row.get(column) is not None:
+                        row[column] = json.loads(row[column])
+                row = _strip_absent(row)
+            else:
+                row["data"] = json.loads(row["data"])
+            rows.append(row)
+        return _reassemble(dict(head.get("data", {})), rows, is_series)

@@ -1,0 +1,224 @@
+"""Static telemetry dashboard: collector series → self-contained HTML.
+
+:func:`render_dashboard` turns a telemetry source — a live
+:class:`~repro.obs.collector.TelemetryCollector`, its
+:class:`~repro.obs.collector.TimeSeriesStore`, an exported series payload
+dict, or a path to any exported series file (JSON/JSONL/CSV, resolved by
+suffix) — into one HTML page with **zero third-party runtime
+dependencies**: styling is inline CSS, charts are inline SVG sparklines, so
+the file renders offline in any browser straight from disk.
+
+The page shows one panel per series (sparkline of the rate for
+counter/histogram series, of the value for gauges, plus trailing-window
+rollup readouts: rate, mean, p50/p95/p99) and — when per-tenant SLO targets
+are supplied — a tenant table grading each tenant's trailing request p99
+against its target (``ok`` / ``breach``).
+"""
+
+from __future__ import annotations
+
+import html
+import pathlib
+from typing import Any, Mapping
+
+from repro.core.errors import InvalidParameterError
+from repro.obs.collector import (
+    TelemetryCollector,
+    TimeSeriesStore,
+    store_from_payload,
+)
+from repro.obs.export import exporter_for_path
+
+__all__ = ["render_dashboard", "write_dashboard", "load_series"]
+
+#: Histogram metric graded in the tenant SLO table.
+_SLO_METRIC = "serve.request_seconds"
+
+_STYLE = """
+body { font-family: ui-monospace, 'SF Mono', Menlo, Consolas, monospace;
+       margin: 2rem auto; max-width: 72rem; background: #11151c; color: #d8dee9; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+.meta { color: #7b88a1; font-size: 0.85rem; }
+table.slo { border-collapse: collapse; margin: 0.75rem 0 1.5rem; }
+table.slo th, table.slo td { border: 1px solid #2e3440; padding: 0.35rem 0.8rem;
+       text-align: right; font-size: 0.85rem; }
+table.slo th { color: #7b88a1; font-weight: normal; }
+td.ok { color: #a3be8c; } td.breach { color: #bf616a; font-weight: bold; }
+.grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(21rem, 1fr));
+        gap: 0.9rem; }
+.panel { border: 1px solid #2e3440; border-radius: 6px; padding: 0.7rem 0.9rem;
+         background: #161b24; }
+.panel .name { font-size: 0.8rem; color: #88c0d0; word-break: break-all; }
+.panel .stats { font-size: 0.75rem; color: #7b88a1; margin-top: 0.35rem; }
+.panel svg { width: 100%; height: 3.2rem; margin-top: 0.4rem; }
+polyline { fill: none; stroke: #88c0d0; stroke-width: 1.5; }
+"""
+
+
+def load_series(path: "str | pathlib.Path") -> TimeSeriesStore:
+    """Load an exported collector series file into a :class:`TimeSeriesStore`.
+
+    The exporter is picked from the file suffix (JSON, JSONL, CSV — and
+    parquet when pyarrow is installed), so the dashboard renders from any
+    format the collector can export to.
+    """
+    payload = exporter_for_path(path).load(path)
+    return store_from_payload(payload)
+
+
+def _coerce_store(
+    source: "TelemetryCollector | TimeSeriesStore | Mapping[str, Any] | str | pathlib.Path",
+) -> TimeSeriesStore:
+    if isinstance(source, TelemetryCollector):
+        return source.store
+    if isinstance(source, TimeSeriesStore):
+        return source
+    if isinstance(source, Mapping):
+        return store_from_payload(source)
+    if isinstance(source, (str, pathlib.Path)):
+        return load_series(source)
+    raise InvalidParameterError(
+        "dashboard source must be a TelemetryCollector, TimeSeriesStore, "
+        f"series payload mapping or path, got {type(source).__name__}"
+    )
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "—"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.001:
+        return f"{value:.3g}"
+    return f"{value:.4g}"
+
+
+def _sparkline(values: list[float], width: int = 320, height: int = 48) -> str:
+    """Inline SVG polyline over ``values`` (autoscaled, newest rightmost)."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    pad = 3.0
+    step = (width - 2 * pad) / max(len(values) - 1, 1)
+    coords = " ".join(
+        f"{pad + i * step:.1f},"
+        f"{height - pad - (value - low) / span * (height - 2 * pad):.1f}"
+        for i, value in enumerate(values)
+    )
+    return (
+        f'<svg viewBox="0 0 {width} {height}" preserveAspectRatio="none" '
+        f'role="img"><polyline points="{coords}"/></svg>'
+    )
+
+
+def _panel(store: TimeSeriesStore, key: str, window: float | None) -> str:
+    points = store.points(key)
+    kind = points[-1].kind
+    values = [p.value if kind == "gauge" else p.rate for p in points]
+    rollup = store.rollup(key, window)
+    stats: list[str] = [f"kind={kind}", f"points={len(points)}"]
+    if kind == "gauge":
+        stats.append(f"last={_fmt(points[-1].value)}")
+        if rollup is not None and rollup.mean is not None:
+            stats.append(f"mean={_fmt(rollup.mean)}")
+    else:
+        stats.append(f"rate={_fmt(rollup.rate if rollup else None)}/s")
+        stats.append(f"total={_fmt(sum(p.delta for p in points))}")
+    if kind == "histogram" and rollup is not None:
+        stats += [
+            f"mean={_fmt(rollup.mean)}s",
+            f"p50={_fmt(rollup.p50)}s",
+            f"p95={_fmt(rollup.p95)}s",
+            f"p99={_fmt(rollup.p99)}s",
+        ]
+    return (
+        '<div class="panel">'
+        f'<div class="name">{html.escape(key)}</div>'
+        f"{_sparkline(values)}"
+        f'<div class="stats">{html.escape(" · ".join(stats))}</div>'
+        "</div>"
+    )
+
+
+def _tenant_rows(
+    store: TimeSeriesStore,
+    slo: Mapping[str, float],
+    window: float | None,
+) -> list[str]:
+    rows = []
+    for tenant in sorted(slo):
+        target = float(slo[tenant])
+        key = f"{_SLO_METRIC}{{tenant={tenant}}}"
+        p99 = store.window_quantile(key, 0.99, window)
+        if p99 is None:
+            status, css = "no data", "meta"
+        elif p99 <= target:
+            status, css = "ok", "ok"
+        else:
+            status, css = "breach", "breach"
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(tenant)}</td>"
+            f"<td>{_fmt(p99)}s</td>"
+            f"<td>{_fmt(target)}s</td>"
+            f'<td class="{css}">{status}</td>'
+            "</tr>"
+        )
+    return rows
+
+
+def render_dashboard(
+    source: "TelemetryCollector | TimeSeriesStore | Mapping[str, Any] | str | pathlib.Path",
+    *,
+    title: str = "repro telemetry",
+    slo: Mapping[str, float] | None = None,
+    window: float | None = None,
+) -> str:
+    """Render a telemetry source as a self-contained HTML dashboard string.
+
+    ``slo`` maps tenant name → p99 latency target (seconds) and adds the
+    per-tenant SLO table; ``window`` restricts the rollup readouts (and the
+    SLO grading) to the trailing window in seconds, default all retained
+    points.
+    """
+    store = _coerce_store(source)
+    keys = store.keys()
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f'<div class="meta">{len(keys)} series · {len(store)} points'
+        + (f" · trailing window {window:g}s" if window else "")
+        + "</div>",
+    ]
+    if slo:
+        parts.append("<h2>Tenant SLO status (trailing request p99)</h2>")
+        parts.append(
+            '<table class="slo"><tr><th>tenant</th><th>p99</th>'
+            "<th>target</th><th>status</th></tr>"
+        )
+        parts.extend(_tenant_rows(store, slo, window))
+        parts.append("</table>")
+    parts.append("<h2>Series</h2>")
+    if keys:
+        parts.append('<div class="grid">')
+        parts.extend(_panel(store, key, window) for key in keys)
+        parts.append("</div>")
+    else:
+        parts.append('<div class="meta">no series recorded</div>')
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_dashboard(
+    source: "TelemetryCollector | TimeSeriesStore | Mapping[str, Any] | str | pathlib.Path",
+    path: "str | pathlib.Path",
+    **kwargs: Any,
+) -> pathlib.Path:
+    """Render :func:`render_dashboard` to ``path`` (parents created)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_dashboard(source, **kwargs))
+    return path

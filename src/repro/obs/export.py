@@ -37,6 +37,7 @@ __all__ = [
     "available_exporters",
     "resolve_exporter",
     "exporter_for_path",
+    "exporter_suffixes",
 ]
 
 _EXPORTERS: dict[str, Callable[..., "MetricsExporter"]] = {}
@@ -103,14 +104,32 @@ def resolve_exporter(
     )
 
 
+def exporter_suffixes() -> dict[str, str]:
+    """Mapping of registered exporter name → preferred file suffix."""
+    return {
+        name: str(getattr(_EXPORTERS[name], "suffix", ""))
+        for name in available_exporters()
+    }
+
+
 def exporter_for_path(path: "str | pathlib.Path") -> "MetricsExporter":
-    """Pick an exporter from a file suffix (``.jsonl`` → jsonl, else json)."""
+    """Pick an exporter from a file suffix (``.csv`` → csv, ``.jsonl`` → jsonl, ...).
+
+    Raises :class:`InvalidParameterError` naming every registered format and
+    its suffix when no exporter claims the suffix, so a typo'd ``--telemetry``
+    path fails loudly instead of silently writing JSON.
+    """
     suffix = pathlib.Path(path).suffix.lower()
-    for name in available_exporters():
-        exporter = create_exporter(name)
-        if exporter.suffix == suffix:
-            return exporter
-    return create_exporter("json")
+    for name, known in exporter_suffixes().items():
+        if known == suffix:
+            return create_exporter(name)
+    formats = ", ".join(
+        f"{name} ({known})" for name, known in exporter_suffixes().items()
+    )
+    raise InvalidParameterError(
+        f"no exporter registered for suffix {suffix!r} of {str(path)!r}; "
+        f"available: {formats}"
+    )
 
 
 class MetricsExporter(ABC):

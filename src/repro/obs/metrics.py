@@ -36,7 +36,7 @@ import threading
 from bisect import bisect_right
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Any, Callable, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.core.errors import InvalidParameterError
 
@@ -228,22 +228,55 @@ class LatencyHistogram:
         if not 0.0 <= q <= 1.0:
             raise InvalidParameterError("quantile must lie in [0, 1]")
         with self._lock:
-            count = self._count
-            if count == 0:
+            if self._count == 0:
                 return 0.0
-            rank = max(int(math.ceil(q * count)), 1)
             counts = list(self._counts)
             low, high = self._min, self._max
+        return self.quantile_from_counts(counts, q, low=low, high=high)
+
+    @classmethod
+    def quantile_from_counts(
+        cls,
+        counts: "Sequence[int] | Mapping[int, int] | Mapping[str, int]",
+        q: float,
+        *,
+        low: float | None = None,
+        high: float | None = None,
+    ) -> float:
+        """Quantile readout over raw bucket counts (same walk as :meth:`quantile`).
+
+        ``counts`` is either the dense per-index count list or the sparse
+        ``{index: count}`` mapping that :meth:`snapshot` emits (string keys
+        accepted, so exported snapshots and collector bucket *deltas* feed in
+        unchanged).  ``low``/``high`` clamp the readout — pass the observed
+        min/max when known; they default to the bucket range.  Returns 0.0
+        when the counts are empty.  This is the shared quantile definition
+        the telemetry collector uses for windowed p50/p95/p99 rollups over
+        summed interval bucket deltas.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError("quantile must lie in [0, 1]")
+        if isinstance(counts, Mapping):
+            dense = [0] * (len(cls._EDGES) + 1)
+            for index, count in counts.items():
+                dense[int(index)] += int(count)
+            counts = dense
+        low = cls.LOW if low is None else low
+        high = cls.HIGH if high is None else high
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        rank = max(int(math.ceil(q * total)), 1)
         cumulative = 0
         for index, bucket in enumerate(counts):
             cumulative += bucket
             if cumulative >= rank:
                 if index == 0:
                     value = low
-                elif index >= len(self._EDGES):
+                elif index >= len(cls._EDGES):
                     value = high
                 else:
-                    value = math.sqrt(self._EDGES[index - 1] * self._EDGES[index])
+                    value = math.sqrt(cls._EDGES[index - 1] * cls._EDGES[index])
                 return min(max(value, low), high)
         # Reachable only when a concurrent lock-free record left the bucket
         # sum momentarily behind the total: the max is the safe answer.
@@ -402,12 +435,27 @@ class MetricsRegistry:
         return payload
 
     def reset(self) -> None:
-        """Drop every metric and callback (benchmark phase boundaries)."""
+        """Drop recorded counters, gauges and histograms; keep callback gauges.
+
+        The benchmark-phase / long-running-collector boundary: accumulated
+        event series are cleared so the next phase starts from zero, while
+        callback gauges registered with :meth:`gauge_fn` survive — they are
+        *live views* onto their owner's state (the serving cache counters,
+        the current generation), and dropping the registration would silently
+        un-instrument a still-running server.  Because callbacks read live
+        state, ``reset()`` does **not** zero what they report: to zero the
+        serving counters behind ``serve.cache_hits``/``serve.cache_misses``,
+        call :meth:`EstimatorServer.reset_stats` — the two resets compose
+        (registry ``reset()`` for recorded series, server ``reset_stats()``
+        for the counters its callbacks expose).  A
+        :class:`~repro.obs.collector.TelemetryCollector` observing this
+        registry sees the drop as a restart and clamps counter deltas at the
+        new cumulative value rather than emitting negative rates.
+        """
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
-            self._callbacks.clear()
 
 
 # ---------------------------------------------------------------------------

@@ -6,8 +6,22 @@ answer ``estimate_batch`` against an immutable published model while a
 background ingester mutates a private copy (``checkout`` → ``insert`` /
 ``flush`` → ``publish``), and each publish atomically swaps the served model
 and bumps a generation counter that invalidates the cache.
+
+:class:`~repro.serve.admission.AdmissionController` is the serving tier's
+control plane: per-tenant token buckets plus tail-driven load shedding of
+write ops, fed trailing p99s by a bound
+:class:`~repro.obs.collector.TelemetryCollector`.  Attach it via the
+server's ``admission=`` parameter; refusals raise the typed
+:class:`~repro.core.errors.AdmissionRejected`.
 """
 
+from repro.serve.admission import WRITE_OPS, AdmissionController, TenantQuota
 from repro.serve.server import EstimatorServer, ServerCacheInfo
 
-__all__ = ["EstimatorServer", "ServerCacheInfo"]
+__all__ = [
+    "EstimatorServer",
+    "ServerCacheInfo",
+    "AdmissionController",
+    "TenantQuota",
+    "WRITE_OPS",
+]

@@ -94,6 +94,13 @@ class EstimatorServer:
         counters as snapshot-time callback gauges — so the uninstrumented
         request path pays a single branch.  Defaults to the process-default
         registry (no-op unless installed).
+    admission:
+        Optional :class:`~repro.serve.admission.AdmissionController`.  When
+        given, every ``estimate_batch`` / ``estimate_batch_many`` request is
+        submitted to it first and may raise
+        :class:`~repro.core.errors.AdmissionRejected`; the default ``None``
+        keeps the request path at the same one-branch cost as disabled
+        instrumentation.
     """
 
     def __init__(
@@ -103,6 +110,7 @@ class EstimatorServer:
         store: "ModelStore | None" = None,
         model_name: str | None = None,
         metrics=None,
+        admission=None,
     ) -> None:
         if not estimator.is_fitted:
             raise NotFittedError("EstimatorServer requires a fitted estimator")
@@ -130,6 +138,7 @@ class EstimatorServer:
         self._misses = 0
         self._generation_swaps = 0
         self._cache_invalidations = 0
+        self.admission = admission
         self.metrics = metrics if metrics is not None else default_metrics()
         self._instrumented = self.metrics.enabled
         if self._instrumented:
@@ -238,21 +247,28 @@ class EstimatorServer:
         queries: Sequence[RangeQuery] | CompiledQueries,
         *,
         tenant: str | None = None,
+        now: float | None = None,
     ) -> np.ndarray:
         """Vector of selectivity estimates for a workload (cached, thread-safe).
 
         The returned array is read-only and may be shared between callers
         that submit the same plan — treat it as immutable.  ``tenant``
-        labels the request in the telemetry registry (when one is attached);
-        it never influences the answer or the cache key.
+        labels the request in the telemetry registry (when one is attached)
+        and identifies the requester to the admission controller; it never
+        influences the answer or the cache key.  ``now`` is the admission
+        decision timestamp (virtual-time simulators pass their clock; the
+        default is wall clock) and is ignored without a controller.  Raises
+        :class:`~repro.core.errors.AdmissionRejected` when a controller is
+        attached and refuses the request.
         """
-        return self.estimate_batch_tagged(queries, tenant=tenant)[1]
+        return self.estimate_batch_tagged(queries, tenant=tenant, now=now)[1]
 
     def estimate_batch_tagged(
         self,
         queries: Sequence[RangeQuery] | CompiledQueries,
         *,
         tenant: str | None = None,
+        now: float | None = None,
     ) -> tuple[int, np.ndarray]:
         """Like :meth:`estimate_batch`, also returning the serving generation.
 
@@ -260,6 +276,9 @@ class EstimatorServer:
         the result — the hook concurrency tests and version-aware clients use
         to attribute an answer to a publish.
         """
+        if self.admission is not None:
+            self.admission.admit(tenant if tenant is not None else "default",
+                                 "query", now=now)
         if not self._instrumented:
             generation, result, _ = self._serve(queries)
             return generation, result
@@ -327,18 +346,25 @@ class EstimatorServer:
         self,
         workloads: Sequence[Sequence[RangeQuery] | CompiledQueries],
         max_workers: int = 4,
+        *,
+        tenant: str | None = None,
     ) -> list[np.ndarray]:
         """Answer many workloads concurrently on a thread pool.
 
         This is the multi-threaded batch entry point: numpy releases the GIL
         in the kernels that dominate batch estimation, so independent
         workloads overlap on multi-core hardware; cached workloads are
-        answered without touching the model at all.
+        answered without touching the model at all.  ``tenant`` labels (and,
+        with an admission controller, gates) every workload in the batch;
+        a refusal surfaces as :class:`~repro.core.errors.AdmissionRejected`
+        from the returned future's workload, failing the whole call.
         """
         if max_workers < 1:
             raise InvalidParameterError("max_workers must be positive")
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(self.estimate_batch, workloads))
+            return list(
+                pool.map(lambda plan: self.estimate_batch(plan, tenant=tenant), workloads)
+            )
 
     # -- copy-on-write updates -------------------------------------------------
     def checkout(self) -> SelectivityEstimator:

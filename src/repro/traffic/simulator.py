@@ -27,7 +27,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import AdmissionRejected, InvalidParameterError
 from repro.obs.export import exporter_for_path, resolve_exporter
 from repro.obs.metrics import MetricsRegistry
 from repro.traffic.tenants import DEFAULT_TENANTS, TenantProfile
@@ -59,6 +59,7 @@ class TrafficReport:
     checksum: float
     tenants: dict[str, dict] = field(default_factory=dict)
     server: dict = field(default_factory=dict)
+    admission: dict = field(default_factory=dict)
 
     def to_payload(self) -> dict:
         return {
@@ -68,6 +69,7 @@ class TrafficReport:
             "checksum": self.checksum,
             "tenants": self.tenants,
             "server": self.server,
+            "admission": self.admission,
         }
 
     def export(self, path, exporter=None, metrics: MetricsRegistry | None = None):
@@ -188,6 +190,13 @@ class TrafficSimulator:
         server's registry when that is enabled, else a fresh
         :class:`~repro.obs.metrics.MetricsRegistry` — the simulator always
         measures, even over an uninstrumented server.
+    collector:
+        Optional :class:`~repro.obs.collector.TelemetryCollector`.  When
+        given, :meth:`run` drives it on **virtual time**: one ``tick`` per
+        ``collector.interval`` of simulated seconds (plus a final tick at
+        the end of the run), so trailing-window rollups — and any admission
+        controller bound to the collector — see the run's own clock.  Use a
+        fresh collector per run: ticks must advance monotonically.
     """
 
     def __init__(
@@ -197,6 +206,7 @@ class TrafficSimulator:
         tenants: Sequence[TenantProfile] = DEFAULT_TENANTS,
         seed: int = 0,
         metrics: MetricsRegistry | None = None,
+        collector=None,
     ) -> None:
         if not tenants:
             raise InvalidParameterError("at least one tenant profile is required")
@@ -207,6 +217,7 @@ class TrafficSimulator:
         self.table = table
         self.tenants = tuple(tenants)
         self.seed = int(seed)
+        self.collector = collector
         if metrics is not None:
             self.metrics = metrics
         elif getattr(server, "metrics", None) is not None and server.metrics.enabled:
@@ -248,6 +259,16 @@ class TrafficSimulator:
         the *client-observed* spans (compile + serve + reduce for queries;
         checkout + insert + flush + publish for ingest), which is what an
         SLO on this layer should gate.
+
+        With a ``collector`` attached, the run becomes a closed control
+        loop: the collector is ticked on virtual-time interval boundaries
+        (event timestamps), and an admission controller bound to it sheds
+        ops mid-run.  Refused ops raise
+        :class:`~repro.core.errors.AdmissionRejected` inside the loop; the
+        simulator counts them (``traffic.rejected{tenant=,op=}``, plus
+        per-tenant ``rejected``/``goodput`` report entries) instead of
+        recording a latency — a shed op was never served, so it must not
+        enter the tail series.
         """
         events = self.schedule(duration)
         # Rebuild draw states so ingest-row draws replay identically run-to-run.
@@ -265,36 +286,78 @@ class TrafficSimulator:
             for name in states
             for op in _OPS
         }
+        rejected: dict[tuple[str, str], int] = {}
+        admission = getattr(self.server, "admission", None)
+        collector = self.collector
+        if collector is not None and collector.last_tick is None:
+            collector.tick(now=0.0)  # baseline at virtual time zero
+        # Tick boundaries as rounded integer multiples of the interval —
+        # accumulating floats would drift the recorded tick times
+        # (0.1 + 0.1 + 0.1 == 0.30000000000000004).
+        ticks = 0
+        next_tick = collector.interval if collector is not None else float("inf")
         checksum = 0.0
         for event in events:
+            while event.time >= next_tick:
+                collector.tick(now=next_tick)
+                ticks += 1
+                next_tick = round((ticks + 1) * collector.interval, 9)
             state = states[event.tenant]
             start = perf_counter()
-            if event.op == "query":
-                plan = state.plans[event.plan]
-                if isinstance(plan, LoweredQueries):
-                    estimates = plan.reduce(
-                        self.server.estimate_batch(plan.plan, tenant=event.tenant)
-                    )
-                else:
-                    estimates = self.server.estimate_batch(plan, tenant=event.tenant)
-                checksum += float(np.sum(estimates))
-            elif event.op == "ingest":
-                rows = state.draw_ingest_rows()
-                model = self.server.checkout()
-                model.insert(rows)
-                if hasattr(model, "flush"):
-                    model.flush()
-                self.server.publish(model)
-            else:  # pure publish churn: version bump, no data change
-                self.server.publish(self.server.checkout())
+            try:
+                if event.op == "query":
+                    plan = state.plans[event.plan]
+                    if isinstance(plan, LoweredQueries):
+                        estimates = plan.reduce(
+                            self.server.estimate_batch(
+                                plan.plan, tenant=event.tenant, now=event.time
+                            )
+                        )
+                    else:
+                        estimates = self.server.estimate_batch(
+                            plan, tenant=event.tenant, now=event.time
+                        )
+                    checksum += float(np.sum(estimates))
+                elif event.op == "ingest":
+                    if admission is not None:
+                        admission.admit(event.tenant, "ingest", now=event.time)
+                    rows = state.draw_ingest_rows()
+                    model = self.server.checkout()
+                    model.insert(rows)
+                    if hasattr(model, "flush"):
+                        model.flush()
+                    self.server.publish(model)
+                else:  # pure publish churn: version bump, no data change
+                    if admission is not None:
+                        admission.admit(event.tenant, "publish", now=event.time)
+                    self.server.publish(self.server.checkout())
+            except AdmissionRejected:
+                key = (event.tenant, event.op)
+                rejected[key] = rejected.get(key, 0) + 1
+                self.metrics.counter(
+                    "traffic.rejected", tenant=event.tenant, op=event.op
+                ).inc()
+                continue
             elapsed = perf_counter() - start
             op_seconds[(event.tenant, event.op)].record(elapsed)
             op_counts[(event.tenant, event.op)].inc()
-        return self._report(duration, events, checksum)
+        if collector is not None and duration > next_tick - collector.interval:
+            collector.tick(now=duration)
+        return self._report(duration, events, checksum, rejected, admission)
 
     def _report(
-        self, duration: float, events: list[TrafficEvent], checksum: float
+        self,
+        duration: float,
+        events: list[TrafficEvent],
+        checksum: float,
+        rejected: "dict[tuple[str, str], int] | None" = None,
+        admission=None,
     ) -> TrafficReport:
+        rejected = rejected or {}
+        scheduled: dict[tuple[str, str], int] = {}
+        for event in events:
+            key = (event.tenant, event.op)
+            scheduled[key] = scheduled.get(key, 0) + 1
         tenants: dict[str, dict] = {}
         for name, state in self._states.items():
             entry: dict = {"profile": state.profile.describe(), "ops": {}}
@@ -312,8 +375,27 @@ class TrafficSimulator:
             if query:
                 entry["p50"] = query["p50"]
                 entry["p99"] = query["p99"]
+            refused = {
+                op: count
+                for (tenant, op), count in rejected.items()
+                if tenant == name and count
+            }
+            if refused:
+                entry["rejected"] = refused
+            total = sum(c for (t, _op), c in scheduled.items() if t == name)
+            refused_total = sum(refused.values())
+            # Goodput = admitted fraction of this run's *scheduled* ops —
+            # the quantity the admission bench gates for the storm tenant.
+            entry["goodput"] = (
+                (total - refused_total) / total if total else 1.0
+            )
             tenants[name] = entry
         server_stats = self.server.stats() if hasattr(self.server, "stats") else {}
+        admission_stats = (
+            {**admission.describe(), "slo": admission.slo_status()}
+            if admission is not None
+            else {}
+        )
         return TrafficReport(
             duration=duration,
             seed=self.seed,
@@ -321,4 +403,5 @@ class TrafficSimulator:
             checksum=checksum,
             tenants=tenants,
             server=server_stats,
+            admission=admission_stats,
         )

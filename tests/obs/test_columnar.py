@@ -1,0 +1,113 @@
+"""Columnar exporters: lossless CSV round-trips, guarded parquet support."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.obs.collector import TelemetryCollector, store_from_payload
+from repro.obs.columnar import HAVE_PYARROW, CSVExporter, ParquetExporter
+from repro.obs.export import available_exporters, create_exporter, exporter_for_path
+from repro.obs.metrics import MetricsRegistry
+
+
+def collected_payload() -> dict:
+    """A realistic series payload: counter, labelled counter, histogram."""
+    registry = MetricsRegistry()
+    collector = TelemetryCollector(registry)
+    registry.counter("traffic.ops", tenant="a", op="query").inc(3)
+    registry.histogram("serve.request_seconds", tenant="a").record(1e-3)
+    collector.tick(now=0.0)
+    for value in (2e-3, 8e-3):
+        registry.histogram("serve.request_seconds", tenant="a").record(value)
+    registry.counter("traffic.ops", tenant="a", op="query").inc(4)
+    registry.gauge("serve.generation").set(2)
+    collector.tick(now=0.5)
+    registry.counter("traffic.ops", tenant="a", op="query").inc(1)
+    collector.tick(now=1.0)
+    return collector.series_payload(bench="columnar-test")
+
+
+def snapshot_payload() -> dict:
+    registry = MetricsRegistry()
+    registry.counter("c", tenant="a").inc(7)
+    registry.gauge("g").set(1.5)
+    registry.histogram("h").record(2e-4)
+    return registry.snapshot()
+
+
+class TestCSV:
+    def test_registered(self) -> None:
+        assert "csv" in available_exporters()
+        assert isinstance(exporter_for_path("series.csv"), CSVExporter)
+
+    def test_series_round_trip_lossless(self, tmp_path) -> None:
+        exporter = create_exporter("csv")
+        payload = collected_payload()
+        path = exporter.export(payload, tmp_path / "series.csv")
+        assert exporter.load(path) == payload
+
+    def test_snapshot_round_trip_lossless(self, tmp_path) -> None:
+        exporter = create_exporter("csv")
+        payload = snapshot_payload()
+        path = exporter.export(payload, tmp_path / "snap.csv")
+        assert exporter.load(path) == payload
+
+    def test_dumps_loads_inverse(self) -> None:
+        exporter = CSVExporter()
+        payload = collected_payload()
+        assert exporter.loads(exporter.dumps(payload)) == payload
+
+    def test_store_rebuilds_from_csv(self, tmp_path) -> None:
+        exporter = create_exporter("csv")
+        payload = collected_payload()
+        path = exporter.export(payload, tmp_path / "series.csv")
+        store = store_from_payload(exporter.load(path))
+        assert "traffic.ops{op=query,tenant=a}" in store.keys()
+        assert any(
+            p.p99 is not None for p in store.points("serve.request_seconds{tenant=a}")
+        )
+
+    def test_one_row_per_point(self, tmp_path) -> None:
+        exporter = create_exporter("csv")
+        payload = collected_payload()
+        text = exporter.dumps(payload)
+        lines = [line for line in text.splitlines() if line.strip()]
+        # meta line + header + one row per series point
+        assert len(lines) == 2 + len(payload["points"])
+        assert lines[0].startswith("#meta ")
+
+
+class TestParquet:
+    def test_registered_and_constructible_without_pyarrow(self) -> None:
+        # Registration and construction must never require pyarrow; only
+        # actual export/load does.
+        assert "parquet" in available_exporters()
+        exporter = exporter_for_path("series.parquet")
+        assert isinstance(exporter, ParquetExporter)
+
+    def test_text_api_rejected(self) -> None:
+        exporter = ParquetExporter()
+        with pytest.raises(InvalidParameterError, match="binary"):
+            exporter.dumps({})
+        with pytest.raises(InvalidParameterError, match="binary"):
+            exporter.loads("")
+
+    @pytest.mark.skipif(HAVE_PYARROW, reason="pyarrow installed")
+    def test_missing_pyarrow_is_a_clean_error(self, tmp_path) -> None:
+        with pytest.raises(InvalidParameterError, match="pyarrow"):
+            ParquetExporter().export(collected_payload(), tmp_path / "s.parquet")
+
+    def test_series_round_trip_lossless(self, tmp_path) -> None:
+        pytest.importorskip("pyarrow")
+        exporter = create_exporter("parquet")
+        payload = collected_payload()
+        path = exporter.export(payload, tmp_path / "series.parquet")
+        assert exporter.load(path) == payload
+
+    def test_snapshot_round_trip_lossless(self, tmp_path) -> None:
+        pytest.importorskip("pyarrow")
+        exporter = create_exporter("parquet")
+        payload = snapshot_payload()
+        path = exporter.export(payload, tmp_path / "snap.parquet")
+        assert exporter.load(path) == payload

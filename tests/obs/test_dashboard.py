@@ -1,0 +1,61 @@
+"""Dashboard rendering: self-contained offline HTML from collected series."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.obs.collector import TelemetryCollector
+from repro.obs.dashboard import load_series, render_dashboard, write_dashboard
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def collector() -> TelemetryCollector:
+    registry = MetricsRegistry()
+    collector = TelemetryCollector(registry)
+    collector.tick(now=0.0)
+    for step in range(1, 5):
+        registry.counter("traffic.ops", tenant="a").inc(10 * step)
+        registry.histogram("serve.request_seconds", tenant="a").record(1e-3 * step)
+        registry.gauge("serve.generation").set(step)
+        collector.tick(now=float(step))
+    return collector
+
+
+class TestRender:
+    def test_renders_every_series_as_a_panel(self, collector) -> None:
+        html = render_dashboard(collector, title="test board")
+        assert html.lstrip().lower().startswith("<!doctype html>")
+        assert "test board" in html
+        for key in collector.store.keys():
+            assert key in html
+        assert "<svg" in html  # sparklines are inline SVG
+
+    def test_self_contained_offline(self, collector) -> None:
+        # Zero third-party deps: no external scripts, stylesheets or fonts.
+        html = render_dashboard(collector)
+        assert "http://" not in html and "https://" not in html
+        assert "<script src" not in html and "<link" not in html
+
+    def test_slo_table_flags_breaches(self, collector) -> None:
+        html = render_dashboard(collector, slo={"a": 1e-6, "ghost": 1.0})
+        assert "breach" in html  # tenant a is far over a 1µs target
+        assert "no data" in html  # ghost has no series
+
+    def test_renders_from_exported_file(self, collector, tmp_path) -> None:
+        from repro.obs.export import exporter_for_path
+
+        path = tmp_path / "series.csv"
+        exporter_for_path(path).export(collector.series_payload(), path)
+        store = load_series(path)
+        html = render_dashboard(store)
+        assert render_dashboard(path) == html
+
+    def test_write_dashboard(self, collector, tmp_path) -> None:
+        path = write_dashboard(collector, tmp_path / "board.html")
+        assert path.read_text().lstrip().lower().startswith("<!doctype html>")
+
+    def test_bad_source_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            render_dashboard(3.14)

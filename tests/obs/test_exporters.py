@@ -53,7 +53,7 @@ class TestResolution:
 
     def test_unknown_name_rejected(self) -> None:
         with pytest.raises(InvalidParameterError, match="unknown exporter"):
-            create_exporter("parquet")
+            create_exporter("yaml")
 
     def test_config_requires_name(self) -> None:
         with pytest.raises(InvalidParameterError, match="name"):
@@ -66,7 +66,13 @@ class TestResolution:
     def test_exporter_for_path_by_suffix(self, tmp_path) -> None:
         assert isinstance(exporter_for_path(tmp_path / "m.jsonl"), JSONLExporter)
         assert isinstance(exporter_for_path(tmp_path / "m.json"), JSONExporter)
-        assert isinstance(exporter_for_path(tmp_path / "m.txt"), JSONExporter)
+
+    def test_exporter_for_path_unknown_suffix_lists_formats(self, tmp_path) -> None:
+        with pytest.raises(InvalidParameterError) as err:
+            exporter_for_path(tmp_path / "m.txt")
+        message = str(err.value)
+        assert "'.txt'" in message
+        assert "json (.json)" in message and "csv (.csv)" in message
 
 
 class TestRoundTrip:

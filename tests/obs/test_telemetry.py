@@ -86,11 +86,25 @@ class TestCountersAndGauges:
         assert snap["histograms"]["h"]["count"] == 1
         assert set(snap) == {"counters", "gauges", "histograms"}
 
-    def test_reset_drops_everything(self) -> None:
+    def test_reset_drops_recorded_series(self) -> None:
         registry = MetricsRegistry()
         registry.counter("c").inc()
+        registry.gauge("g").set(2.0)
+        registry.histogram("h").record(1e-3)
         registry.reset()
         assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_reset_preserves_callback_gauges(self) -> None:
+        # Callback gauges are live views onto their owner's state (cache
+        # counters, current generation): reset() clears recorded series but
+        # must not silently un-instrument a still-running owner.
+        registry = MetricsRegistry()
+        box = {"v": 7}
+        registry.gauge_fn("live", lambda: box["v"])
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+        assert registry.snapshot()["gauges"]["live"]["value"] == 7.0
 
 
 class TestTimer:

@@ -173,3 +173,80 @@ class TestReportExport:
             loaded = exporter_for_path(path).load(path)
             assert loaded["checksum"] == pytest.approx(report.checksum)
             assert loaded["histograms"]  # registry snapshot rode along
+
+
+class TestClosedLoop:
+    """Collector ticking and admission gating inside the simulated run."""
+
+    def make_gated(self, base_model, *, slo=1e-9, floor=0.4):
+        from repro.obs.collector import TelemetryCollector
+        from repro.serve import AdmissionController, TenantQuota
+
+        metrics = MetricsRegistry()
+        collector = TelemetryCollector(metrics, interval=0.1)
+        controller = AdmissionController(
+            [TenantQuota("reader", slo_p99=slo)],
+            window=0.5,
+            floor=floor,
+            initial_allowance=floor,
+            metrics=metrics,
+        ).bind(collector)
+        server = EstimatorServer(
+            copy.deepcopy(base_model), cache_size=16, metrics=metrics,
+            admission=controller,
+        )
+        return server, collector, controller, metrics
+
+    def test_collector_ticks_on_virtual_time(self, base_model, table) -> None:
+        from repro.obs.collector import TelemetryCollector
+
+        metrics = MetricsRegistry()
+        collector = TelemetryCollector(metrics, interval=0.1)
+        sim = TrafficSimulator(
+            make_server(base_model, metrics=metrics), table, TENANTS,
+            seed=3, collector=collector,
+        )
+        sim.run(0.45)
+        assert collector.last_tick == 0.45  # final partial-interval tick
+        times = {p.time for p in collector.store}
+        assert {0.1, 0.2, 0.3, 0.4} <= times
+        assert any(
+            key.startswith("traffic.ops") for key in collector.store.keys()
+        )
+
+    def test_impossible_slo_sheds_writer_ops(self, base_model, table) -> None:
+        server, collector, controller, metrics = self.make_gated(base_model)
+        sim = TrafficSimulator(server, table, TENANTS, seed=3, collector=collector)
+        report = sim.run(0.5)
+        writer = report.tenants["writer"]
+        assert writer["rejected"] and sum(writer["rejected"].values()) > 0
+        assert 0.0 < writer["goodput"] < 1.0
+        assert report.tenants["reader"]["goodput"] == 1.0  # protected, untouched
+        assert controller.write_allowance == pytest.approx(0.4)  # pinned at floor
+        shed = sum(
+            entry["value"]
+            for key, entry in metrics.snapshot()["counters"].items()
+            if key.startswith("traffic.rejected")
+        )
+        assert shed == sum(writer["rejected"].values())
+        assert report.admission["slo"]["reader"]["breach"] is True
+        assert report.to_payload()["admission"]["write_allowance"] == pytest.approx(0.4)
+
+    def test_shed_runs_are_deterministic(self, base_model, table) -> None:
+        def run():
+            server, collector, _, _ = self.make_gated(base_model)
+            sim = TrafficSimulator(server, table, TENANTS, seed=3, collector=collector)
+            report = sim.run(0.5)
+            return report.checksum, report.tenants["writer"]["rejected"]
+
+        first, second = run(), run()
+        assert first[0] == pytest.approx(second[0])
+        assert first[1] == second[1]
+
+    def test_ungated_report_has_full_goodput(self, base_model, table) -> None:
+        report = TrafficSimulator(
+            make_server(base_model), table, TENANTS, seed=3
+        ).run(0.3)
+        assert report.tenants["writer"]["goodput"] == 1.0
+        assert "rejected" not in report.tenants["writer"]
+        assert report.admission == {}
