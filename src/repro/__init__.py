@@ -31,6 +31,15 @@ Quickstart
 True
 >>> bool((estimates >= 0.0).all() and (estimates <= 1.0).all())
 True
+
+Durability is on by default: snapshots written through ``save_estimator`` /
+:class:`ModelStore` carry a content checksum that loads verify (corrupt
+versions are quarantined and the store rolls back to the newest intact one),
+and streaming ingest can be made crash-safe by wrapping the estimator in
+:class:`~repro.persist.JournaledIngest` over an
+:class:`~repro.persist.IngestJournal` (fsync'd write-ahead journal; replay
+after a crash reproduces the pre-crash model bitwise).  All failure paths are
+testable deterministically through :mod:`repro.fault`.
 """
 
 from repro.core.adaptive import AdaptiveKDEEstimator
@@ -44,13 +53,16 @@ from repro.core.bandwidth import (
 from repro.core.errors import (
     BudgetError,
     CatalogError,
+    CircuitOpenError,
     DimensionMismatchError,
+    InjectedFault,
     InvalidParameterError,
     InvalidQueryError,
     NotFittedError,
     PersistenceError,
     ReproError,
     SchemaError,
+    SnapshotCorruptError,
     StreamError,
 )
 from repro.core.estimator import (
@@ -132,13 +144,24 @@ from repro.metrics.errors import (
     summarize_errors,
 )
 from repro.metrics.report import render_series, render_table
+from repro.fault import (
+    FaultPlan,
+    FaultRule,
+    default_fault_plan,
+    random_plan,
+    set_default_fault_plan,
+    use_fault_plan,
+)
 from repro.persist import (
+    IngestJournal,
+    JournaledIngest,
     ModelStore,
     ModelVersion,
     load_estimator,
     load_sharded,
     save_estimator,
     save_sharded,
+    verify_snapshot,
 )
 from repro.obs import (
     CSVExporter,
@@ -159,6 +182,7 @@ from repro.obs import (
 )
 from repro.serve import (
     AdmissionController,
+    CircuitBreaker,
     EstimatorServer,
     ServerCacheInfo,
     TenantQuota,
@@ -282,12 +306,23 @@ __all__ = [
     "ModelVersion",
     "save_estimator",
     "load_estimator",
+    "verify_snapshot",
     "save_sharded",
     "load_sharded",
+    "IngestJournal",
+    "JournaledIngest",
     "EstimatorServer",
     "ServerCacheInfo",
     "AdmissionController",
     "TenantQuota",
+    "CircuitBreaker",
+    # fault injection
+    "FaultPlan",
+    "FaultRule",
+    "default_fault_plan",
+    "set_default_fault_plan",
+    "use_fault_plan",
+    "random_plan",
     # observability & traffic
     "MetricsRegistry",
     "LatencyHistogram",
@@ -362,4 +397,7 @@ __all__ = [
     "StreamError",
     "SchemaError",
     "PersistenceError",
+    "SnapshotCorruptError",
+    "InjectedFault",
+    "CircuitOpenError",
 ]

@@ -49,6 +49,55 @@ class PersistenceError(ReproError):
     """A model snapshot or store operation failed (bad format, unknown model)."""
 
 
+class SnapshotCorruptError(PersistenceError):
+    """A snapshot file on disk is damaged (torn write, bit rot, truncation).
+
+    Distinct from the plain :class:`PersistenceError` cases (wrong format
+    version, foreign file): corruption means the bytes do not match what was
+    written, so the store's recovery machinery (quarantine + rollback to the
+    newest intact version) applies.  Carries the offending ``path`` and,
+    when known, the ``version`` that failed.
+    """
+
+    def __init__(self, path: str, detail: str, version: "int | None" = None) -> None:
+        at = f" (version {version})" if version is not None else ""
+        super().__init__(f"corrupt snapshot {path}{at}: {detail}")
+        self.path = str(path)
+        self.version = version
+        self.detail = detail
+
+
+class InjectedFault(ReproError):
+    """A fault fired by an armed :class:`repro.fault.FaultPlan` rule.
+
+    The stand-in for transient infrastructure failures (a crashed shard
+    worker, a failed write) in deterministic fault-injection tests; recovery
+    layers treat it as transient and retriable.  Carries the injection
+    ``point`` that fired.
+    """
+
+    def __init__(self, point: str, message: str = "") -> None:
+        super().__init__(
+            f"injected fault at {point!r}" + (f": {message}" if message else "")
+        )
+        self.point = point
+
+
+class CircuitOpenError(ReproError):
+    """A request was shed by an open serving circuit breaker.
+
+    Raised only when the breaker is open (or the served model faulted) *and*
+    neither a last-good cached result nor a fallback estimator could answer
+    the plan.  Carries the breaker ``state`` at refusal time.
+    """
+
+    def __init__(self, state: str, message: str = "") -> None:
+        super().__init__(
+            f"circuit breaker {state}" + (f": {message}" if message else "")
+        )
+        self.state = state
+
+
 class AdmissionRejected(ReproError):
     """A request was refused by the serving tier's admission controller.
 

@@ -121,7 +121,16 @@ FLOAT_BYTES = 8
 #: never constructor parameters, and :func:`estimator_from_config` ignores
 #: them so a describe dictionary round-trips into an equivalent estimator.
 DESCRIBE_METADATA_KEYS = frozenset(
-    {"class", "fitted", "columns", "rows_modelled", "memory_bytes"}
+    {
+        "class",
+        "fitted",
+        "columns",
+        "rows_modelled",
+        "memory_bytes",
+        # degraded-mode surface of the sharded front end (see repro.shard)
+        "degraded",
+        "lost_shards",
+    }
 )
 
 

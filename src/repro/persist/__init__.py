@@ -22,6 +22,16 @@ A snapshot is a ``numpy.savez`` archive written without pickle:
 * one ``a::<key>`` entry per state array of the estimator (bit-exact float64
   payloads, so a load reproduces ``estimate_batch`` output bitwise).
 
+Every snapshot also carries a content checksum entry
+(:data:`~repro.persist.snapshot.CHECKSUM_KEY`, CRC-32 over the header bytes
+and every array's dtype/shape/raw bytes): loads verify it and raise the typed
+:class:`~repro.core.errors.SnapshotCorruptError` on any mismatch, and
+:class:`~repro.persist.store.ModelStore` quarantines corrupt versions
+(``*.corrupt``) and rolls back to the newest intact one.  Crash-safe
+streaming ingest is provided by :class:`~repro.persist.journal.IngestJournal`
+/ :class:`~repro.persist.journal.JournaledIngest` — an append-only, fsync'd
+write-ahead journal whose replay reproduces the pre-crash model bitwise.
+
 Sharded models can additionally be persisted as a *manifest directory* —
 ``manifest.json`` plus one self-contained snapshot file per shard — via
 :func:`~repro.persist.shards.save_sharded` / ``load_sharded``; see
@@ -47,12 +57,14 @@ into every header.
   ``_restore_state`` or trigger a format bump.
 """
 
+from repro.persist.journal import IngestJournal, JournaledIngest, JournalReplay
 from repro.persist.shards import load_sharded, save_sharded
 from repro.persist.snapshot import (
     FORMAT_VERSION,
     load_estimator,
     read_snapshot_header,
     save_estimator,
+    verify_snapshot,
 )
 from repro.persist.store import ModelStore, ModelVersion
 
@@ -61,8 +73,12 @@ __all__ = [
     "save_estimator",
     "load_estimator",
     "read_snapshot_header",
+    "verify_snapshot",
     "save_sharded",
     "load_sharded",
     "ModelStore",
     "ModelVersion",
+    "IngestJournal",
+    "JournaledIngest",
+    "JournalReplay",
 ]

@@ -5,26 +5,41 @@ numpy arrays plus JSON scalars (``SelectivityEstimator.state_dict``), and
 this module owns the on-disk envelope — a pickle-free ``savez`` archive with
 a versioned JSON header.  See :mod:`repro.persist` for the format and its
 versioning policy.
+
+Integrity: every snapshot carries a CRC-32 envelope checksum (the
+``__repro_checksum__`` entry) computed over the header bytes and every state
+array's key, dtype, shape and raw bytes.  Loaders verify it, so torn writes,
+truncation and bit rot surface as a typed
+:class:`~repro.core.errors.SnapshotCorruptError` instead of raw
+``numpy``/``zipfile`` exceptions — and never as silently wrong estimates.
+The checksum entry is additive (readers that predate it ignore it, loaders
+accept legacy snapshots without one), so the format version is unchanged.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import os
+import zipfile
+import zlib
 from pathlib import Path
 from typing import IO, Any, Mapping
 
 import numpy as np
 
-from repro.core.errors import PersistenceError
+from repro.core.errors import PersistenceError, SnapshotCorruptError
 from repro.core.estimator import SelectivityEstimator, estimator_from_config
+from repro.fault.plan import mutate_bytes
 
 __all__ = [
+    "CHECKSUM_KEY",
     "FORMAT_VERSION",
     "HEADER_KEY",
     "save_estimator",
     "load_estimator",
     "read_snapshot_header",
+    "verify_snapshot",
 ]
 
 #: On-disk snapshot format version (see :mod:`repro.persist` for the policy).
@@ -33,8 +48,21 @@ FORMAT_VERSION = 1
 #: Archive entry holding the UTF-8 JSON header.
 HEADER_KEY = "__repro_header__"
 
+#: Archive entry holding the CRC-32 envelope checksum (additive; optional).
+CHECKSUM_KEY = "__repro_checksum__"
+
 #: Prefix namespacing estimator state arrays inside the archive.
 _ARRAY_PREFIX = "a::"
+
+#: Exceptions that mean "the bytes on disk are not a readable archive".
+_CORRUPTION_ERRORS = (
+    zipfile.BadZipFile,
+    zipfile.LargeZipFile,
+    ValueError,
+    KeyError,
+    EOFError,
+    OSError,
+)
 
 
 def _json_default(value: Any) -> Any:
@@ -50,10 +78,28 @@ def _json_default(value: Any) -> Any:
     raise TypeError(f"snapshot header value {value!r} is not JSON-serialisable")
 
 
+def _compute_checksum(header_bytes: bytes, arrays: Mapping[str, np.ndarray]) -> int:
+    """CRC-32 over the envelope: header bytes + every array's identity.
+
+    Keys are folded in sorted order with each array's dtype and shape, so a
+    flip that moves bytes between arrays (or truncates one) changes the sum
+    even when the concatenated payload would not.
+    """
+    crc = zlib.crc32(header_bytes)
+    for key in sorted(arrays):
+        value = np.ascontiguousarray(arrays[key])
+        crc = zlib.crc32(key.encode("utf-8"), crc)
+        crc = zlib.crc32(value.dtype.str.encode("utf-8"), crc)
+        crc = zlib.crc32(repr(value.shape).encode("utf-8"), crc)
+        crc = zlib.crc32(value.tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
 def save_estimator(
     estimator: SelectivityEstimator,
     path: str | os.PathLike[str] | IO[bytes],
     schema: Mapping[str, Any] | None = None,
+    fault_point: str = "persist.snapshot.write",
 ) -> None:
     """Write ``estimator`` as a single snapshot file at ``path``.
 
@@ -66,27 +112,50 @@ def save_estimator(
     unchanged.  Parent directories are created.  (Writing is *not* atomic —
     the :class:`~repro.persist.store.ModelStore` layers atomic
     write-then-rename publishing on top.)
+
+    ``fault_point`` names the byte-mutation injection point the finished
+    archive passes through before it reaches disk (inert unless a
+    :class:`~repro.fault.FaultPlan` is armed); the store's publish path
+    overrides it so torn *publishes* can be injected independently of plain
+    saves.
     """
     state = estimator.state_dict()
     arrays = state.pop("arrays")
     header = {"format": FORMAT_VERSION, **state}
     if schema is not None:
         header["schema"] = dict(schema)
-    encoded = np.frombuffer(
-        json.dumps(header, default=_json_default).encode("utf-8"), dtype=np.uint8
-    )
+    encoded_bytes = json.dumps(header, default=_json_default).encode("utf-8")
+    encoded = np.frombuffer(encoded_bytes, dtype=np.uint8)
     payload: dict[str, np.ndarray] = {HEADER_KEY: encoded}
     for key, value in arrays.items():
         payload[_ARRAY_PREFIX + key] = np.asarray(value)
+    checksum = _compute_checksum(
+        encoded_bytes, {k: v for k, v in payload.items() if k != HEADER_KEY}
+    )
+    payload[CHECKSUM_KEY] = np.array([checksum], dtype=np.uint64)
+    # Build the archive in memory so the byte-mutation hook sees the exact
+    # bytes headed for disk (savez appends ".npz" to bare string paths; an
+    # in-memory build then a plain write preserves the requested name).
+    buffer = io.BytesIO()
+    np.savez(buffer, **payload)
+    raw = mutate_bytes(fault_point, buffer.getvalue())
     if hasattr(path, "write"):
-        np.savez(path, **payload)
+        path.write(raw)
         return
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    # savez appends ".npz" to bare string paths; an opened handle writes the
-    # archive to exactly the requested name.
     with open(target, "wb") as handle:
-        np.savez(handle, **payload)
+        handle.write(raw)
+
+
+def _version_of(source: str) -> int | None:
+    """Best-effort store version number parsed from a snapshot filename."""
+    stem = Path(source).name
+    if stem.startswith("v") and stem.endswith(".npz"):
+        digits = stem[1:-4]
+        if digits.isdigit():
+            return int(digits)
+    return None
 
 
 def _parse_header(data: Mapping[str, np.ndarray], source: str) -> dict[str, Any]:
@@ -95,7 +164,9 @@ def _parse_header(data: Mapping[str, np.ndarray], source: str) -> dict[str, Any]
     try:
         header = json.loads(bytes(np.asarray(data[HEADER_KEY])).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise PersistenceError(f"{source} has a corrupt snapshot header") from error
+        raise SnapshotCorruptError(
+            source, "corrupt snapshot header", version=_version_of(source)
+        ) from error
     version = header.get("format")
     if not isinstance(version, int) or version < 1:
         raise PersistenceError(f"{source} has an invalid snapshot format marker")
@@ -108,9 +179,74 @@ def _parse_header(data: Mapping[str, np.ndarray], source: str) -> dict[str, Any]
 
 
 def read_snapshot_header(path: str | os.PathLike[str] | IO[bytes]) -> dict[str, Any]:
-    """Read and validate just the JSON header of a snapshot (cheap metadata)."""
-    with np.load(path, allow_pickle=False) as data:
-        return _parse_header(data, str(path))
+    """Read and validate just the JSON header of a snapshot (cheap metadata).
+
+    Does not verify the envelope checksum (that requires reading every
+    array — use :func:`verify_snapshot` or :func:`load_estimator`), but a
+    structurally damaged archive still raises
+    :class:`~repro.core.errors.SnapshotCorruptError`.
+    """
+    source = str(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            return _parse_header(data, source)
+    except FileNotFoundError:
+        raise
+    except _CORRUPTION_ERRORS as error:
+        raise SnapshotCorruptError(
+            source, f"unreadable archive ({error})", version=_version_of(source)
+        ) from error
+
+
+def _read_snapshot(
+    path: str | os.PathLike[str] | IO[bytes],
+) -> tuple[dict[str, Any], dict[str, np.ndarray], bool]:
+    """Read, structurally validate and checksum-verify a snapshot archive.
+
+    Returns ``(header, prefixed arrays, had_checksum)``; raises
+    :class:`~repro.core.errors.SnapshotCorruptError` on any damage.
+    """
+    source = str(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            header = _parse_header(data, source)
+            header_bytes = bytes(np.asarray(data[HEADER_KEY]))
+            arrays = {
+                key: np.array(data[key])
+                for key in data.files
+                if key.startswith(_ARRAY_PREFIX)
+            }
+            stored = (
+                int(np.asarray(data[CHECKSUM_KEY]).ravel()[0])
+                if CHECKSUM_KEY in data.files
+                else None
+            )
+    except FileNotFoundError:
+        raise
+    except _CORRUPTION_ERRORS as error:
+        raise SnapshotCorruptError(
+            source, f"unreadable archive ({error})", version=_version_of(source)
+        ) from error
+    if stored is not None:
+        actual = _compute_checksum(header_bytes, arrays)
+        if actual != stored:
+            raise SnapshotCorruptError(
+                source,
+                f"envelope checksum mismatch (stored {stored:#010x}, "
+                f"computed {actual:#010x})",
+                version=_version_of(source),
+            )
+    return header, arrays, stored is not None
+
+
+def verify_snapshot(path: str | os.PathLike[str] | IO[bytes]) -> bool:
+    """Fully read ``path`` and verify its envelope checksum.
+
+    Returns ``True`` when a checksum was present and matched, ``False`` for
+    an intact legacy snapshot written before checksums existed.  Raises
+    :class:`~repro.core.errors.SnapshotCorruptError` on any damage.
+    """
+    return _read_snapshot(path)[2]
 
 
 def load_estimator(path: str | os.PathLike[str] | IO[bytes]) -> SelectivityEstimator:
@@ -118,15 +254,12 @@ def load_estimator(path: str | os.PathLike[str] | IO[bytes]) -> SelectivityEstim
 
     The estimator is constructed from the header's registry name and config
     (via :func:`~repro.core.estimator.estimator_from_config`) and its state
-    restored from the archived arrays.
+    restored from the archived arrays.  The envelope checksum is verified
+    first (when present); damage raises
+    :class:`~repro.core.errors.SnapshotCorruptError`.
     """
-    with np.load(path, allow_pickle=False) as data:
-        header = _parse_header(data, str(path))
-        arrays = {
-            key[len(_ARRAY_PREFIX):]: np.array(data[key])
-            for key in data.files
-            if key.startswith(_ARRAY_PREFIX)
-        }
+    header, prefixed, _ = _read_snapshot(path)
+    arrays = {key[len(_ARRAY_PREFIX):]: value for key, value in prefixed.items()}
     estimator = estimator_from_config(
         {"name": header["estimator"], **header.get("config", {})}
     )

@@ -16,6 +16,7 @@ behind a running server.
 
 from __future__ import annotations
 
+import logging
 import os
 import re
 import threading
@@ -23,16 +24,38 @@ from dataclasses import dataclass
 from pathlib import Path
 from time import perf_counter
 
-from repro.core.errors import PersistenceError
+try:  # POSIX advisory locking for the LATEST pointer flip
+    from fcntl import LOCK_EX as _LOCK_EX, flock as _flock
+except ImportError:  # pragma: no cover - non-POSIX fallback: in-process only
+    _flock = None
+    _LOCK_EX = 0
+
+from repro.core.errors import PersistenceError, SnapshotCorruptError
+from repro.fault.plan import inject, mutate_bytes
 from repro.obs.metrics import default_metrics
 from repro.core.estimator import SelectivityEstimator
-from repro.persist.snapshot import load_estimator, read_snapshot_header, save_estimator
+from repro.persist.snapshot import (
+    load_estimator,
+    read_snapshot_header,
+    save_estimator,
+    verify_snapshot,
+)
 
 __all__ = ["ModelStore", "ModelVersion"]
+
+logger = logging.getLogger("repro.persist")
 
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 _VERSION_PATTERN = re.compile(r"^v(\d{8})\.npz$")
 _LATEST = "LATEST"
+
+#: Suffix appended to a snapshot file when ``load`` quarantines it; the
+#: resulting name no longer matches the version pattern, so scans, pruning
+#: and pointer resolution all skip it (kept on disk for forensics).
+_QUARANTINE_SUFFIX = ".corrupt"
+
+#: Write attempts per publish when read-back verification is on.
+_PUBLISH_ATTEMPTS = 4
 
 
 @dataclass(frozen=True)
@@ -58,8 +81,20 @@ class ModelStore:
         Optional :class:`repro.obs.metrics.MetricsRegistry`.  When enabled,
         every :meth:`publish` records its end-to-end latency
         (``persist.publish_seconds``, the write-temp + claim + pointer-flip
-        span) and bumps ``persist.publishes``.  Defaults to the
+        span) and bumps ``persist.publishes``.  Recovery events bump
+        ``persist.publish_retries`` (a publish temp file failed read-back
+        verification and was rewritten), ``persist.quarantined`` (a corrupt
+        snapshot was renamed aside) and ``persist.rollbacks`` (a latest-load
+        fell back to an older intact version).  Defaults to the
         process-default registry (no-op unless installed).
+    verify_publish:
+        Read back and checksum-verify every publish's temp file before it is
+        claimed into a version slot, rewriting on mismatch (up to 4
+        attempts).  This catches write-path corruption the OS reports
+        nothing about — but a read-back is served from the page cache, so
+        corruption that lands *after* the verify (power-loss torn writes,
+        bit rot) is still possible; :meth:`load` quarantines such versions
+        and rolls back to the newest intact one.
     """
 
     def __init__(
@@ -67,12 +102,14 @@ class ModelStore:
         root: str | os.PathLike[str],
         keep_versions: int | None = None,
         metrics=None,
+        verify_publish: bool = True,
     ):
         if keep_versions is not None and keep_versions < 1:
             raise PersistenceError("keep_versions must be at least 1")
         self.root = Path(root)
         self.keep_versions = keep_versions
         self.metrics = metrics if metrics is not None else default_metrics()
+        self.verify_publish = verify_publish
         self._lock = threading.Lock()
         self.root.mkdir(parents=True, exist_ok=True)
 
@@ -123,8 +160,10 @@ class ModelStore:
     def latest_version(self, name: str) -> int | None:
         """Version the ``LATEST`` pointer designates (``None`` if unpublished).
 
-        Falls back to the newest on-disk snapshot when the pointer is missing
-        or stale — the snapshot files, not the pointer, are ground truth.
+        Falls back to the newest on-disk snapshot when the pointer is
+        missing, empty, garbage, or names a version that no longer exists —
+        the snapshot files, not the pointer, are ground truth — and then
+        *repairs* the pointer so the next reader skips the scan.
         """
         model_dir = self._model_dir(name)
         pointer = model_dir / _LATEST
@@ -135,7 +174,17 @@ class ModelStore:
         except (OSError, ValueError):
             pass
         versions = self._scan_versions(model_dir)
-        return versions[-1] if versions else None
+        if not versions:
+            return None
+        if pointer.exists():
+            logger.warning(
+                "repairing unusable LATEST pointer for model %r -> v%d",
+                name,
+                versions[-1],
+            )
+        with self._lock:
+            self._write_pointer(model_dir, versions[-1], force=True)
+        return versions[-1]
 
     # -- publish / load --------------------------------------------------------
     def publish(
@@ -158,7 +207,12 @@ class ModelStore:
         other's snapshot; the loser simply takes the next version number.
         The ``LATEST`` pointer is flipped via write-to-temp + ``os.replace``
         afterwards, so a crash mid-publish leaves the previous version
-        intact and readers never see a partial file.
+        intact and readers never see a partial file.  With
+        ``verify_publish`` (the default) the temp file is read back and
+        checksum-verified before the claim; a failed verification rewrites
+        it, up to 4 attempts, then raises
+        :class:`~repro.core.errors.SnapshotCorruptError` rather than ever
+        claiming a corrupt file.
         """
         publish_start = perf_counter() if self.metrics.enabled else 0.0
         model_dir = self._model_dir(name)
@@ -168,7 +222,31 @@ class ModelStore:
             version = (versions[-1] if versions else 0) + 1
             temp_path = model_dir / f".publish.{os.getpid()}.{id(estimator):x}.tmp"
             try:
-                save_estimator(estimator, temp_path, schema=schema)
+                for attempt in range(_PUBLISH_ATTEMPTS):
+                    save_estimator(
+                        estimator,
+                        temp_path,
+                        schema=schema,
+                        fault_point="persist.publish.write",
+                    )
+                    if not self.verify_publish:
+                        break
+                    try:
+                        verify_snapshot(temp_path)
+                        break
+                    except SnapshotCorruptError:
+                        temp_path.unlink(missing_ok=True)
+                        self.metrics.counter("persist.publish_retries").inc()
+                        logger.warning(
+                            "publish of model %r v%d failed read-back "
+                            "verification (attempt %d/%d)",
+                            name,
+                            version,
+                            attempt + 1,
+                            _PUBLISH_ATTEMPTS,
+                        )
+                        if attempt == _PUBLISH_ATTEMPTS - 1:
+                            raise
                 while True:
                     final_path = self._version_path(name, version)
                     try:
@@ -184,6 +262,11 @@ class ModelStore:
                         break
             finally:
                 temp_path.unlink(missing_ok=True)
+            # The pointer flip below is the commit point.  A crash in this
+            # window leaves an orphaned (claimed but never announced)
+            # version slot: readers keep serving the previous version and
+            # the next publish claims the slot after the orphan.
+            inject("persist.publish.crash")
             self._write_pointer(model_dir, version)
             keep = keep_versions if keep_versions is not None else self.keep_versions
             if keep is not None:
@@ -196,22 +279,112 @@ class ModelStore:
         return ModelVersion(name, version, final_path)
 
     @staticmethod
-    def _write_pointer(model_dir: Path, version: int) -> None:
+    def _write_pointer(model_dir: Path, version: int, force: bool = False) -> None:
         pointer = model_dir / _LATEST
-        try:
-            # Never move the pointer backwards (a slower concurrent publisher
-            # finishing late must not shadow a newer version).
-            if int(pointer.read_text().strip()) >= version:
-                return
-        except (OSError, ValueError):
-            pass
-        temp_pointer = model_dir / f".{_LATEST}.{os.getpid()}.tmp"
-        temp_pointer.write_text(f"{version}\n")
-        os.replace(temp_pointer, pointer)
+        # The read-guard + replace below is not atomic, so the whole flip is
+        # serialised through an advisory file lock — it covers independent
+        # store handles and separate processes, which the in-process lock
+        # cannot.  (Released when the descriptor closes.)
+        with open(model_dir / f".{_LATEST}.lock", "w") as lock_file:
+            if _flock is not None:
+                _flock(lock_file, _LOCK_EX)
+            if not force:
+                try:
+                    # Never move the pointer backwards (a slower concurrent
+                    # publisher finishing late must not shadow a newer
+                    # version).  ``force`` overrides this for repair/rollback,
+                    # where the pointer is known to name garbage or a
+                    # quarantined version.
+                    if int(pointer.read_text().strip()) >= version:
+                        return
+                except (OSError, ValueError):
+                    pass
+            temp_pointer = model_dir / f".{_LATEST}.{os.getpid()}.{threading.get_ident()}.tmp"
+            temp_pointer.write_bytes(
+                mutate_bytes("persist.pointer.write", f"{version}\n".encode())
+            )
+            os.replace(temp_pointer, pointer)
 
     def load(self, name: str, version: int | None = None) -> SelectivityEstimator:
-        """Load one published version of ``name`` (default: the latest)."""
-        return load_estimator(self._resolve(name, version).path)
+        """Load one published version of ``name`` (default: the latest).
+
+        Loading the latest version is corruption-tolerant: a version that
+        fails checksum verification is quarantined (renamed aside) and the
+        load *rolls back* to the newest intact version, repairing the
+        ``LATEST`` pointer — a corrupt snapshot is never served.  Loading an
+        explicitly requested version raises
+        :class:`~repro.core.errors.SnapshotCorruptError` without touching
+        the file (the caller targeted those exact bytes).
+        """
+        if version is not None:
+            return load_estimator(self._resolve(name, version).path)
+        return self.load_latest(name)[1]
+
+    def load_latest(self, name: str) -> tuple[ModelVersion, SelectivityEstimator]:
+        """Load the newest *intact* version of ``name`` with its handle.
+
+        Corrupt versions encountered on the way are quarantined (renamed
+        with a ``.corrupt`` suffix, bumping ``persist.quarantined``) and the
+        search rolls back to older versions (``persist.rollbacks``); the
+        ``LATEST`` pointer is repaired to the version actually served.
+        Raises :class:`~repro.core.errors.PersistenceError` when no intact
+        version remains.
+        """
+        rolled_back = False
+        tried: set[int] = set()
+        last_error: SnapshotCorruptError | None = None
+        while True:
+            try:
+                resolved = self._resolve(name, None)
+            except PersistenceError:
+                if last_error is not None:
+                    raise PersistenceError(
+                        f"model {name!r} has no intact versions "
+                        f"(all quarantined; last failure: {last_error})"
+                    ) from last_error
+                raise
+            if resolved.version in tried:
+                # Quarantine could not move the file aside (read-only
+                # store); re-resolving would spin on the same version.
+                assert last_error is not None
+                raise last_error
+            tried.add(resolved.version)
+            try:
+                estimator = load_estimator(resolved.path)
+            except SnapshotCorruptError as error:
+                self._quarantine(resolved)
+                last_error = error
+                rolled_back = True
+                continue
+            if rolled_back:
+                self.metrics.counter("persist.rollbacks").inc()
+                logger.warning(
+                    "model %r rolled back to intact version %d", name, resolved.version
+                )
+                with self._lock:
+                    self._write_pointer(
+                        self._model_dir(name), resolved.version, force=True
+                    )
+            return resolved, estimator
+
+    def _quarantine(self, resolved: ModelVersion) -> Path:
+        """Rename a corrupt snapshot aside so scans and loads skip it."""
+        corrupt_path = resolved.path.with_name(resolved.path.name + _QUARANTINE_SUFFIX)
+        try:
+            os.replace(resolved.path, corrupt_path)
+        except OSError:
+            # Renaming is best-effort (read-only store, concurrent
+            # quarantine); resolution order still skips the version once the
+            # caller records the failure, and re-reading it just fails again.
+            pass
+        self.metrics.counter("persist.quarantined").inc()
+        logger.warning(
+            "quarantined corrupt snapshot %s (model %r version %d)",
+            corrupt_path,
+            resolved.name,
+            resolved.version,
+        )
+        return corrupt_path
 
     def describe(self, name: str, version: int | None = None) -> dict:
         """Snapshot header of a published version (cheap — no arrays read)."""

@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.core.errors import AdmissionRejected, InvalidParameterError
+from repro.fault.plan import skew_clock
 from repro.obs.metrics import default_metrics
 
 if TYPE_CHECKING:  # annotation-only: obs must not import serve
@@ -283,6 +284,10 @@ class AdmissionController:
         """
         if now is None:
             now = time.monotonic()
+        # Fault hook: a skewed (possibly backwards) clock must degrade refill,
+        # never corrupt the buckets — the `now > bucket.last` guard below
+        # already makes backwards time a no-op refill.
+        now = skew_clock("admission.clock", now)
         quota = self.quotas.get(tenant)
         with self._lock:
             if quota is not None and quota.rate is not None:

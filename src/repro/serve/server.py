@@ -36,9 +36,15 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.core.errors import InvalidParameterError, NotFittedError
+from repro.core.errors import (
+    CircuitOpenError,
+    InvalidParameterError,
+    NotFittedError,
+)
 from repro.core.estimator import SelectivityEstimator, StreamingEstimator
+from repro.fault.plan import inject
 from repro.obs.metrics import default_metrics, hit_rate
+from repro.serve.breaker import CircuitBreaker
 from repro.workload.queries import CompiledQueries, RangeQuery, compile_queries
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
@@ -46,6 +52,11 @@ if TYPE_CHECKING:  # imported for type annotations only (avoids a package cycle)
     from repro.shard.sharded import ShardedEstimator
 
 __all__ = ["EstimatorServer", "ServerCacheInfo"]
+
+#: Cache-outcome labels of the per-tenant request counters.  ``stale`` and
+#: ``fallback`` are the degraded-path outcomes served while the circuit
+#: breaker refuses (or the model fails) fresh computation.
+_OUTCOMES = ("hit", "miss", "empty", "uncached", "stale", "fallback")
 
 
 @dataclass(frozen=True)
@@ -101,6 +112,19 @@ class EstimatorServer:
         :class:`~repro.core.errors.AdmissionRejected`; the default ``None``
         keeps the request path at the same one-branch cost as disabled
         instrumentation.
+    breaker:
+        Optional :class:`~repro.serve.breaker.CircuitBreaker`.  When given,
+        model faults during estimation are caught and counted instead of
+        propagating: enough consecutive faults trip the breaker, and while
+        it refuses calls the server answers from the degraded path —
+        last-good results for previously seen plans (any generation), then
+        the ``fallback`` estimator, then a
+        :class:`~repro.core.errors.CircuitOpenError`.  Publishing a new
+        model resets the breaker.
+    fallback:
+        Optional fitted estimator over the same columns, served while the
+        breaker is open for plans with no last-good result (typically a
+        cheap histogram next to an expensive KDE).  Requires ``breaker``.
     """
 
     def __init__(
@@ -111,6 +135,8 @@ class EstimatorServer:
         model_name: str | None = None,
         metrics=None,
         admission=None,
+        breaker: "CircuitBreaker | None" = None,
+        fallback: SelectivityEstimator | None = None,
     ) -> None:
         if not estimator.is_fitted:
             raise NotFittedError("EstimatorServer requires a fitted estimator")
@@ -118,11 +144,30 @@ class EstimatorServer:
             raise InvalidParameterError("cache_size must be non-negative")
         if store is not None and not model_name:
             raise InvalidParameterError("model_name is required when a store is given")
+        if fallback is not None:
+            if breaker is None:
+                raise InvalidParameterError(
+                    "a fallback estimator requires a circuit breaker"
+                )
+            if not fallback.is_fitted:
+                raise NotFittedError("the fallback estimator must be fitted")
+            if fallback.columns != estimator.columns:
+                raise InvalidParameterError(
+                    f"fallback covers {list(fallback.columns)}, expected "
+                    f"{list(estimator.columns)}"
+                )
         if isinstance(estimator, StreamingEstimator):
             estimator.flush()
         self.cache_size = int(cache_size)
         self.store = store
         self.model_name = model_name
+        self.breaker = breaker
+        self.fallback = fallback
+        # Last-good results keyed by plan digest only (generation-agnostic):
+        # the stale-serving store the degraded path answers from while the
+        # breaker is open.  Bounded LRU, maintained on every fresh result.
+        self._last_good: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self._last_good_size = max(self.cache_size, 64) if breaker is not None else 0
         # (generation, model) is swapped as one tuple: readers grab both with
         # a single attribute load, so a concurrent publish can never pair the
         # old model with the new generation (or vice versa).
@@ -159,6 +204,9 @@ class EstimatorServer:
                 "serve.cache_invalidations", lambda: self._cache_invalidations
             )
             self.metrics.gauge_fn("serve.cached_plans", lambda: len(self._cache))
+            if breaker is not None:
+                self.metrics.gauge_fn("serve.breaker_state", lambda: breaker.state_code)
+                self.metrics.gauge_fn("serve.breaker_trips", lambda: breaker.trips)
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -214,6 +262,8 @@ class EstimatorServer:
                 "generation_swaps": self._generation_swaps,
                 "cache_invalidations": self._cache_invalidations,
             }
+        if self.breaker is not None:
+            info["breaker"] = self.breaker.describe()
         if isinstance(model, ShardedEstimator):
             info["shards"] = model.shard_count
             info["shard_rows"] = [int(n) for n in model.shard_row_counts()]
@@ -255,11 +305,14 @@ class EstimatorServer:
         that submit the same plan — treat it as immutable.  ``tenant``
         labels the request in the telemetry registry (when one is attached)
         and identifies the requester to the admission controller; it never
-        influences the answer or the cache key.  ``now`` is the admission
-        decision timestamp (virtual-time simulators pass their clock; the
-        default is wall clock) and is ignored without a controller.  Raises
-        :class:`~repro.core.errors.AdmissionRejected` when a controller is
-        attached and refuses the request.
+        influences the answer or the cache key.  ``now`` is the decision
+        timestamp for admission *and* for the circuit breaker's open →
+        half-open transition (virtual-time simulators pass their clock; the
+        default is wall clock); it is ignored when neither is attached.
+        Raises :class:`~repro.core.errors.AdmissionRejected` when a
+        controller refuses the request, and
+        :class:`~repro.core.errors.CircuitOpenError` when the breaker is
+        open and no last-good result or fallback covers the plan.
         """
         return self.estimate_batch_tagged(queries, tenant=tenant, now=now)[1]
 
@@ -280,11 +333,11 @@ class EstimatorServer:
             self.admission.admit(tenant if tenant is not None else "default",
                                  "query", now=now)
         if not self._instrumented:
-            generation, result, _ = self._serve(queries)
+            generation, result, _ = self._serve(queries, now)
             return generation, result
         perf = perf_counter  # local binding: this wrapper is the hot path
         start = perf()
-        generation, result, outcome = self._serve(queries)
+        generation, result, outcome = self._serve(queries, now)
         elapsed = perf() - start
         self._record_request(elapsed)
         if tenant is not None:
@@ -296,7 +349,7 @@ class EstimatorServer:
                     self.metrics.histogram("serve.request_seconds", tenant=tenant),
                     {
                         o: self.metrics.counter("serve.requests", tenant=tenant, outcome=o)
-                        for o in ("hit", "miss", "empty", "uncached")
+                        for o in _OUTCOMES
                     },
                 )
                 self._tenant_series[tenant] = series
@@ -305,7 +358,9 @@ class EstimatorServer:
         return generation, result
 
     def _serve(
-        self, queries: Sequence[RangeQuery] | CompiledQueries
+        self,
+        queries: Sequence[RangeQuery] | CompiledQueries,
+        now: float | None = None,
     ) -> tuple[int, np.ndarray, str]:
         """The serving core: ``(generation, result, cache outcome)``."""
         generation, model = self._current
@@ -315,28 +370,92 @@ class EstimatorServer:
             # caching them would spend LRU slots (and hash work) on answers
             # that are a constant empty vector.
             return generation, np.zeros(0), "empty"
+        outcome = "miss"
+        key = None
         if self.cache_size == 0:
-            return generation, model.estimate_batch(plan), "uncached"
-        key = self._plan_key(generation, plan)
-        with self._lock:
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._cache.move_to_end(key)
-                self._hits += 1
-                return generation, cached, "hit"
-            self._misses += 1
-        result = model.estimate_batch(plan)
+            outcome = "uncached"
+        else:
+            key = self._plan_key(generation, plan)
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self._hits += 1
+                    return generation, cached, "hit"
+                self._misses += 1
+        breaker = self.breaker
+        if breaker is None:
+            result = model.estimate_batch(plan)
+        else:
+            if breaker.before_call(now) == "shed":
+                return self._serve_degraded(generation, plan, key, None)
+            try:
+                inject("serve.estimate")
+                result = model.estimate_batch(plan)
+            except Exception as error:  # noqa: BLE001 - fault boundary
+                breaker.record_failure(now)
+                if self._instrumented:
+                    self.metrics.counter("serve.model_faults").inc()
+                return self._serve_degraded(generation, plan, key, error)
+            breaker.record_success(now)
         result.setflags(write=False)
         with self._lock:
+            if self._last_good_size:
+                digest = key[2] if key is not None else self._plan_key(0, plan)[2]
+                self._last_good[digest] = result
+                self._last_good.move_to_end(digest)
+                while len(self._last_good) > self._last_good_size:
+                    self._last_good.popitem(last=False)
             # Only results of the *current* generation are admitted: a read
             # that raced a publish may hold a now-superseded model, and its
             # result must not outlive that version in the cache.
-            if key[0] == self._current[0]:
+            if key is not None and key[0] == self._current[0]:
                 self._cache[key] = result
                 self._cache.move_to_end(key)
                 while len(self._cache) > self.cache_size:
                     self._cache.popitem(last=False)
-        return generation, result, "miss"
+        return generation, result, outcome
+
+    def _serve_degraded(
+        self,
+        generation: int,
+        plan: CompiledQueries,
+        key: tuple | None,
+        error: Exception | None,
+    ) -> tuple[int, np.ndarray, str]:
+        """Answer while the model is unavailable (breaker open or faulting).
+
+        Preference order: the last-good result for this exact plan (any
+        generation — a stale answer beats no answer), then the fallback
+        estimator, then :class:`~repro.core.errors.CircuitOpenError`.
+        Degraded answers never enter the plan cache: they must not outlive
+        the outage as fresh results.
+        """
+        digest = key[2] if key is not None else self._plan_key(0, plan)[2]
+        with self._lock:
+            stale = self._last_good.get(digest)
+        if stale is not None:
+            if self._instrumented:
+                self.metrics.counter("serve.stale_served").inc()
+            return generation, stale, "stale"
+        if self.fallback is not None:
+            try:
+                result = self.fallback.estimate_batch(plan)
+            except Exception as fallback_error:  # noqa: BLE001 - last resort
+                raise CircuitOpenError(
+                    self.breaker.state if self.breaker is not None else "open",
+                    f"fallback estimator failed too ({fallback_error})",
+                ) from (error or fallback_error)
+            result.setflags(write=False)
+            if self._instrumented:
+                self.metrics.counter("serve.fallback_served").inc()
+            return generation, result, "fallback"
+        if self._instrumented:
+            self.metrics.counter("serve.requests_shed").inc()
+        raise CircuitOpenError(
+            self.breaker.state if self.breaker is not None else "open",
+            "no last-good result or fallback for this plan",
+        ) from error
 
     def estimate(self, query: RangeQuery) -> float:
         """Scalar sugar over a one-row batch (mirrors the estimator API)."""
@@ -397,6 +516,10 @@ class EstimatorServer:
             self._cache_invalidations += len(stale)
             for key in stale:
                 del self._cache[key]
+        if self.breaker is not None:
+            # A fresh model supersedes whatever was faulting: close the
+            # breaker (cumulative trips are kept for monitoring).
+            self.breaker.reset()
         if self.store is not None and self.model_name:
             self.store.publish(self.model_name, model)
         if self._instrumented:

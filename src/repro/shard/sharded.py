@@ -44,6 +44,7 @@ warm.
 from __future__ import annotations
 
 import copy
+import logging
 from typing import Any, Mapping, Sequence
 
 import numpy as np
@@ -52,8 +53,10 @@ from repro.core.errors import (
     DimensionMismatchError,
     InvalidParameterError,
     NotFittedError,
+    ReproError,
     StreamError,
 )
+from repro.obs.metrics import default_metrics
 from repro.core.estimator import (
     SelectivityEstimator,
     StreamingEstimator,
@@ -62,10 +65,13 @@ from repro.core.estimator import (
 )
 from repro.core.resolve import resolve_estimator
 from repro.engine.table import Table
+from repro.fault.plan import inject
 from repro.shard.parallel import ShardExecutor
 from repro.shard.partition import Partitioner, make_partitioner, partition_table
 
 __all__ = ["ShardedEstimator"]
+
+logger = logging.getLogger("repro.shard")
 
 #: Below this many (queries × shards) the per-shard estimate passes run
 #: serially — a thread pool costs more than it saves on tiny batches.
@@ -150,6 +156,7 @@ class ShardedEstimator(StreamingEstimator):
         self._shards: list[SelectivityEstimator] = []
         self._frame: dict[str, np.ndarray] | None = None
         self._merged: SelectivityEstimator | None = None
+        self._lost: set[int] = set()
 
     # -- lifecycle -------------------------------------------------------------
     def fit(
@@ -175,6 +182,7 @@ class ShardedEstimator(StreamingEstimator):
             op="fit",
         )
         self._merged = None
+        self._lost = set()
         self._mark_fitted(columns, table.row_count)
         return self
 
@@ -211,6 +219,44 @@ class ShardedEstimator(StreamingEstimator):
             )
         return int(shard_id)
 
+    # -- degraded mode (lost shards) -------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether any shard has been marked lost (estimates renormalize)."""
+        return bool(self._lost)
+
+    @property
+    def lost_shards(self) -> tuple[int, ...]:
+        """Shard ids currently marked lost, ascending."""
+        return tuple(sorted(self._lost))
+
+    def mark_shard_lost(self, shard_id: int, reason: str = "manual") -> None:
+        """Declare one shard's synopsis permanently unavailable.
+
+        The front end keeps serving: estimates renormalize over the
+        surviving shards (row-count-weighted ``combine_estimates``, which a
+        hash partition makes an unbiased-sample approximation of the full
+        ensemble), rows routed to the lost shard are dropped and counted
+        (``shard.dropped_rows``), and the loss is surfaced in
+        :meth:`describe` plus the ``shard.lost`` obs counter.  Heal by
+        swapping a rebuilt synopsis in (:meth:`with_shard` /
+        :meth:`refit_shard`) or refitting.
+        """
+        self._require_fitted()
+        shard_id = self._check_shard_id(shard_id)
+        if shard_id in self._lost:
+            return
+        self._lost.add(shard_id)
+        self._merged = None
+        default_metrics().counter("shard.lost", reason=reason).inc()
+        logger.warning(
+            "shard %d marked lost (%s); serving degraded estimates over %d/%d shards",
+            shard_id,
+            reason,
+            len(self._shards) - len(self._lost),
+            len(self._shards),
+        )
+
     def memory_bytes(self) -> int:
         self._require_fitted()
         return int(sum(shard.memory_bytes() for shard in self._shards))
@@ -239,23 +285,37 @@ class ShardedEstimator(StreamingEstimator):
             )
         assert self._partitioner is not None
         assignment = self._partitioner.assign(rows)
-        targets = [
-            (self._shards[shard_id], rows[assignment == shard_id])
-            for shard_id in range(self.shard_count)
-        ]
-        targets = [(shard, batch) for shard, batch in targets if batch.shape[0]]
+        targets = []
+        dropped = 0
+        for shard_id in range(self.shard_count):
+            batch = rows[assignment == shard_id]
+            if not batch.shape[0]:
+                continue
+            if shard_id in self._lost:
+                # A lost shard has nowhere durable to put its rows; dropping
+                # (counted) keeps the surviving shards' synopses honest
+                # rather than silently skewing another shard's partition.
+                dropped += batch.shape[0]
+                continue
+            targets.append((self._shards[shard_id], batch))
+        if dropped:
+            default_metrics().counter("shard.dropped_rows").inc(dropped)
         self._serve_executor.map(
             lambda shard, batch: shard.insert(batch),
             [shard for shard, _ in targets],
             [batch for _, batch in targets],
             op="insert",
         )
-        self._row_count += rows.shape[0]
+        self._row_count += rows.shape[0] - dropped
         self._merged = None
 
     def flush(self) -> None:
-        """Flush every streaming shard's pending ingestion buffer."""
-        streaming = [s for s in self._shards if isinstance(s, StreamingEstimator)]
+        """Flush every surviving streaming shard's pending ingestion buffer."""
+        streaming = [
+            s
+            for i, s in enumerate(self._shards)
+            if isinstance(s, StreamingEstimator) and i not in self._lost
+        ]
         if streaming:
             self._serve_executor.map(lambda shard: shard.flush(), streaming, op="flush")
             self._merged = None
@@ -264,6 +324,10 @@ class ShardedEstimator(StreamingEstimator):
     @property
     def merge_mode(self) -> bool:
         """Whether estimates are served through the merged synopsis."""
+        if self._lost:
+            # Degraded: the merged synopsis would fold lost-shard state back
+            # in; only the weighted path can renormalize over survivors.
+            return False
         if self.combine == "merge":
             return True
         if self.combine == "weighted":
@@ -295,17 +359,47 @@ class ShardedEstimator(StreamingEstimator):
         if self.merge_mode:
             merged = self.merged_estimator()
             return np.asarray(merged._estimate_batch(lows, highs), dtype=float)
-        weights = self.shard_row_counts()
-        if lows.shape[0] * self.shard_count >= _PARALLEL_ESTIMATE_THRESHOLD:
-            raw = self._serve_executor.map(
-                lambda shard: shard._estimate_batch(lows, highs),
-                self._shards,
-                op="estimate",
-            )
+        live = [i for i in range(len(self._shards)) if i not in self._lost]
+
+        def one(shard_id: int) -> "np.ndarray | Exception":
+            # A shard whose synopsis faults mid-estimate is captured, marked
+            # lost below, and excluded from the reduction — one bad shard
+            # degrades the answer instead of failing the whole batch.  (The
+            # executor's "shard.task" point sits *outside* this boundary and
+            # models retryable transport faults instead.)
+            try:
+                inject("shard.estimate")
+                return self._shards[shard_id]._estimate_batch(lows, highs)
+            except Exception as error:  # noqa: BLE001 - fault boundary
+                return error
+
+        if lows.shape[0] * len(live) >= _PARALLEL_ESTIMATE_THRESHOLD:
+            raw = self._serve_executor.map(one, live, op="estimate")
         else:
-            raw = [shard._estimate_batch(lows, highs) for shard in self._shards]
+            raw = [one(shard_id) for shard_id in live]
+        survivors: list[int] = []
+        results: list[np.ndarray] = []
+        last_error: Exception | None = None
+        for shard_id, result in zip(live, raw):
+            if isinstance(result, Exception):
+                last_error = result
+                default_metrics().counter("shard.estimate_failures").inc()
+                self.mark_shard_lost(shard_id, reason="estimate_failure")
+            else:
+                survivors.append(shard_id)
+                results.append(result)
+        if not results:
+            if last_error is not None:
+                raise last_error
+            raise ReproError(
+                f"all {len(self._shards)} shards are lost; no estimates available"
+            )
+        weights = np.array(
+            [self._shards[shard_id].row_count for shard_id in survivors],
+            dtype=np.int64,
+        )
         estimates = np.stack(
-            [self._clip_fractions(np.asarray(r, dtype=float)) for r in raw]
+            [self._clip_fractions(np.asarray(r, dtype=float)) for r in results]
         )
         return type(self._template).combine_estimates(estimates, weights)
 
@@ -336,6 +430,7 @@ class ShardedEstimator(StreamingEstimator):
         )
         fresh = _fit_one(self._clone_template(), sub_table, self._columns, self._frame)
         self._shards[shard_id] = fresh
+        self._lost.discard(shard_id)  # a rebuilt synopsis heals a lost shard
         self._row_count = int(sum(shard.row_count for shard in self._shards))
         self._merged = None
         return fresh
@@ -373,6 +468,9 @@ class ShardedEstimator(StreamingEstimator):
         clone._shards[shard_id] = estimator
         clone._partitioner = copy.deepcopy(self._partitioner)
         clone._merged = None
+        # Private lost-set: swapping a fresh synopsis into a lost slot heals
+        # it on the clone (the original keeps serving degraded).
+        clone._lost = set(self._lost) - {shard_id}
         clone._row_count = int(sum(shard.row_count for shard in clone._shards))
         return clone
 
@@ -414,6 +512,7 @@ class ShardedEstimator(StreamingEstimator):
                 )
         assert columns is not None
         self._shards = shards
+        self._lost = set()
         self._partitioner = partitioner
         self._frame = dict(frame) if frame is not None else None
         self._merged = None
@@ -449,6 +548,8 @@ class ShardedEstimator(StreamingEstimator):
                 arrays[f"s{i}::{key}"] = value
             shard_headers.append(state)
         meta: dict[str, Any] = {"shards": shard_headers, "partitioner": None}
+        if self._lost:
+            meta["lost"] = sorted(self._lost)
         if self._partitioner is not None:
             part_arrays, part_meta = self._partitioner.state()
             for key, value in part_arrays.items():
@@ -496,10 +597,21 @@ class ShardedEstimator(StreamingEstimator):
                 key: np.asarray(arrays[f"frame::{key}"])
                 for key in meta["frame_keys"]
             }
+        self._lost = {int(i) for i in meta.get("lost", [])}
         self._merged = None
+
+    def describe(self) -> dict[str, Any]:
+        """Structured description; surfaces degraded mode when shards are lost."""
+        info = super().describe()
+        if self._lost:
+            info["degraded"] = True
+            info["lost_shards"] = list(self.lost_shards)
+        return info
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "fitted" if self._fitted else "unfitted"
+        if self._lost:
+            status += f", degraded (lost {sorted(self._lost)})"
         return (
             f"ShardedEstimator({self._template.name!r} x{self.shard_count}, "
             f"{status}, columns={list(self._columns)})"

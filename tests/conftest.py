@@ -1,9 +1,27 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Setting ``REPRO_FAULT_RATE`` (with optional ``REPRO_FAULT_SEED``) arms a
+low-rate random fault plan over the recoverable injection points for the
+whole run — the CI fault-injection leg uses this to prove the retry layers
+absorb background faults without changing any test outcome.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+_fault_rate = float(os.environ.get("REPRO_FAULT_RATE", "0") or 0.0)
+if _fault_rate > 0.0:
+    from repro.fault.plan import random_plan, set_default_fault_plan
+
+    set_default_fault_plan(
+        random_plan(
+            _fault_rate, seed=int(os.environ.get("REPRO_FAULT_SEED", "0") or 0)
+        )
+    )
 
 from repro import (
     RangeQuery,

@@ -230,3 +230,35 @@ class TestServerWiring:
         with pytest.raises(AdmissionRejected):
             # Two workloads against a one-token bucket: the second is refused.
             server.estimate_batch_many([queries, queries], tenant="t")
+
+
+class TestClockSkew:
+    """The ``admission.clock`` fault hook: skewed time degrades refill but
+    never corrupts the buckets."""
+
+    def test_backwards_clock_is_a_noop_refill(self) -> None:
+        from repro.fault.plan import FaultPlan, use_fault_plan
+
+        controller = AdmissionController([TenantQuota("t", rate=1.0, burst=2.0)])
+        controller.admit("t", now=10.0)  # bucket created at t=10, one token left
+
+        plan = FaultPlan()
+        plan.arm("admission.clock", action="skew", skew=-100.0)
+        with use_fault_plan(plan):
+            # Skewed to t=-90: no refill (time never goes backwards for the
+            # bucket), but the remaining token is still spendable.
+            controller.admit("t", now=10.0)
+        with pytest.raises(AdmissionRejected):
+            controller.admit("t", now=10.0)
+        # Honest time resumes: refill proceeds from the last-seen timestamp.
+        controller.admit("t", now=12.0)
+
+    def test_forward_skew_refills_early(self) -> None:
+        from repro.fault.plan import FaultPlan, use_fault_plan
+
+        controller = AdmissionController([TenantQuota("t", rate=1.0, burst=1.0)])
+        controller.admit("t", now=0.0)
+        plan = FaultPlan()
+        plan.arm("admission.clock", action="skew", skew=50.0)
+        with use_fault_plan(plan):
+            controller.admit("t", now=0.0)  # skewed far forward: bucket full
