@@ -17,10 +17,10 @@ Four deterministic fault campaigns, each driven entirely by a seeded
    results or the fallback estimator — zero served errors), and once the
    fault window passes the breaker must close and serve bitwise-fresh
    results again.
-4. **Degraded shards** — injected worker faults exhaust the executor's
-   retries and knock a shard out; the renormalized survivor combine must
-   stay within :data:`DEGRADED_TOLERANCE` mean relative deviation of the
-   full ensemble.
+4. **Degraded shards** — injected synopsis faults exhaust a shard's
+   consecutive-failure probation and knock it out; the renormalized
+   survivor combine must stay within :data:`DEGRADED_TOLERANCE` mean
+   relative deviation of the full ensemble.
 
 Set ``BENCH_FAULT_SMOKE=1`` for the reduced CI smoke configuration (the
 latency gate is skipped there; recovery and availability gates hold
@@ -279,12 +279,22 @@ def degraded_shards(root: Path, rows: int, queries: int) -> dict:
         mapped = executor.map(lambda x: x * x, range(4))
     retries_absorbed = mapped == [0, 1, 4, 9] and transient_rule.fired == 2
 
-    # A shard synopsis fault inside the estimate boundary is not retried: the
-    # shard is marked lost and the combine renormalizes over the survivors.
+    # A shard synopsis fault inside the estimate boundary puts the shard on
+    # probation: each fault excludes it from that batch only, and
+    # ``estimate_failure_threshold`` consecutive faults mark it lost, after
+    # which the combine renormalizes over the survivors.  Shard 0 hits the
+    # point first in every serial pass, so with 4 live shards its hits are
+    # 1, 5, 9, …
+    strikes = sharded.estimate_failure_threshold
     loss_plan = FaultPlan(seed=17)
-    loss_plan.arm("shard.estimate", action="raise", at=(1,))
+    loss_plan.arm(
+        "shard.estimate",
+        action="raise",
+        at=tuple(1 + pass_index * 4 for pass_index in range(strikes)),
+    )
     with use_fault_plan(loss_plan):
-        degraded = sharded.estimate_batch(query_plan)
+        for _ in range(strikes):
+            degraded = sharded.estimate_batch(query_plan)
 
     deviation = float(
         np.mean(np.abs(degraded - full) / np.maximum(full, 1e-2))

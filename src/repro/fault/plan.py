@@ -29,7 +29,7 @@ import threading
 import time
 import zlib
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from fnmatch import fnmatchcase
 from typing import Iterator, Sequence
 
@@ -115,6 +115,15 @@ class FaultRule:
         return True
 
 
+#: Keyword options :meth:`FaultPlan.arm` accepts — every ``FaultRule`` field
+#: except the positionals and the ``fired`` bookkeeping counter.
+_RULE_OPTIONS = frozenset(f.name for f in fields(FaultRule)) - {
+    "pattern",
+    "action",
+    "fired",
+}
+
+
 class FaultPlan:
     """A seedable schedule of faults armed against named injection points.
 
@@ -137,22 +146,55 @@ class FaultPlan:
         self._lock = threading.Lock()
 
     def arm(self, pattern: str, action: str = "raise", **kwargs: object) -> FaultRule:
-        """Arm a rule at ``pattern`` (exact point name or fnmatch glob)."""
+        """Arm a rule at ``pattern`` (exact point name or fnmatch glob).
+
+        Options are validated *before* the rule is built: an unknown option,
+        a malformed ``at``, or any out-of-range value raises
+        :class:`~repro.core.errors.InvalidParameterError` (never a raw
+        ``TypeError``) and nothing is armed.
+        """
         if action not in ACTIONS:
             raise InvalidParameterError(
                 f"unknown fault action {action!r}; expected one of {ACTIONS}"
             )
-        rule = FaultRule(pattern=pattern, action=action, **kwargs)  # type: ignore[arg-type]
+        unknown = set(kwargs) - _RULE_OPTIONS
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown fault rule option(s) {sorted(unknown)}; "
+                f"expected any of {sorted(_RULE_OPTIONS)}"
+            )
+        if "at" in kwargs:
+            kwargs["at"] = self._coerce_at(kwargs["at"])
+        try:
+            rule = FaultRule(pattern=pattern, action=action, **kwargs)  # type: ignore[arg-type]
+        except (TypeError, ValueError) as error:
+            raise InvalidParameterError(f"invalid fault rule options: {error}") from error
         if rule.every < 1:
             raise InvalidParameterError("every must be >= 1")
         if not 0.0 <= rule.probability <= 1.0:
             raise InvalidParameterError("probability must be in [0, 1]")
         if not 0.0 <= rule.fraction < 1.0:
             raise InvalidParameterError("fraction must be in [0, 1)")
-        rule.at = tuple(int(i) for i in rule.at)
         with self._lock:
             self.rules.append(rule)
         return rule
+
+    @staticmethod
+    def _coerce_at(value: object) -> tuple[int, ...]:
+        """Normalise an ``at=`` option into a tuple of hit indices.
+
+        Accepts a single hit number or any iterable of them, so
+        ``arm(p, at=3)`` and ``arm(p, at=(3,))`` are equivalent.
+        """
+        if isinstance(value, (int, np.integer)):
+            return (int(value),)
+        try:
+            return tuple(int(i) for i in value)  # type: ignore[union-attr]
+        except (TypeError, ValueError) as error:
+            raise InvalidParameterError(
+                f"at must be a hit number or an iterable of hit numbers, "
+                f"got {value!r}"
+            ) from error
 
     def reset_counters(self) -> None:
         """Zero all hit/fire accounting (rules stay armed)."""

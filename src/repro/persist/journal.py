@@ -77,13 +77,16 @@ class JournalReplay:
     or damaged before the first checkpoint); ``batches`` are the row batches
     logged after it, in order and in their original boundaries.
     ``torn_tail`` reports that replay stopped at a truncated or
-    CRC-failing record (everything after it is discarded).
+    CRC-failing record (everything after it is discarded), and
+    ``intact_bytes`` is the file offset just past the last intact record —
+    the truncation point that makes the file appendable again.
     """
 
     checkpoint_version: int | None = None
     batches: list[np.ndarray] = field(default_factory=list)
     records: int = 0
     torn_tail: bool = False
+    intact_bytes: int = 0
 
     @property
     def rows(self) -> int:
@@ -192,6 +195,21 @@ class IngestJournal:
                 os.close(fd)
         self._seq = 1
 
+    def truncate(self, size: int) -> None:
+        """Discard every byte past offset ``size`` (torn-tail repair).
+
+        The file is opened in append mode (:meth:`_open`), so garbage left by
+        a crash mid-append *must* be cut off before any new record is written
+        — otherwise replay stops at the garbage and every later record is
+        unreachable.  Fsyncs the shrunken file so the repair is durable.
+        """
+        try:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(max(int(size), 0))
+                self._sync(handle)
+        except FileNotFoundError:
+            pass
+
     # -- replay -----------------------------------------------------------
 
     @classmethod
@@ -212,6 +230,7 @@ class IngestJournal:
             result.torn_tail = bool(blob)
             return result
         offset = len(_FILE_MAGIC)
+        result.intact_bytes = offset
         pending: list[np.ndarray] = []
         while offset < len(blob):
             if offset + _REC_HEADER.size > len(blob):
@@ -227,7 +246,6 @@ class IngestJournal:
                 result.torn_tail = True
                 break
             offset = start + length
-            result.records += 1
             if kind == _KIND_CHECKPOINT:
                 (result.checkpoint_version,) = _CHECKPOINT_PAYLOAD.unpack(payload)
                 pending = []
@@ -239,6 +257,8 @@ class IngestJournal:
                     break
                 pending.append(data.reshape(n_rows, n_dims).copy())
             # unknown kinds are skipped (forward compatibility)
+            result.records += 1
+            result.intact_bytes = offset
         result.batches = pending
         return result
 
@@ -312,9 +332,11 @@ class JournaledIngest:
         apply), then replays journaled batches according to the checkpoint
         protocol: batches replay only when the journal's checkpoint matches
         or postdates the loaded snapshot (an *older* checkpoint means the
-        rows are already folded into a newer snapshot).  The journal is kept
-        as-is — its pending rows stay replayable until the next
-        :meth:`checkpoint`.
+        rows are already folded into a newer snapshot).  The journal's intact
+        records are kept — pending rows stay replayable until the next
+        :meth:`checkpoint` — but a torn tail is truncated away (fsync'd)
+        before the journal accepts new appends, so post-recovery batches are
+        logged contiguously after the last intact record.
 
         The result's ``last_recovery`` dict reports what happened:
         ``loaded_version``, ``checkpoint_version``, ``replayed_batches``,
@@ -331,6 +353,12 @@ class JournaledIngest:
                 "does not apply"
             )
         replayed = IngestJournal.replay(journal.path)
+        if replayed.torn_tail:
+            # The journal reopens in append mode, so the garbage tail must be
+            # cut off *before* any new insert is logged — otherwise replay
+            # stops at the garbage and every post-recovery batch is
+            # unreachable (silently lost on the next crash).
+            journal.truncate(replayed.intact_bytes)
         checkpoint = replayed.checkpoint_version
         replay_batches = (
             replayed.batches if checkpoint is not None and checkpoint >= resolved.version else []

@@ -21,10 +21,11 @@ from __future__ import annotations
 import io
 import json
 import os
+import struct
 import zipfile
 import zlib
 from pathlib import Path
-from typing import IO, Any, Mapping
+from typing import IO, Any, Mapping, NoReturn
 
 import numpy as np
 
@@ -55,14 +56,36 @@ CHECKSUM_KEY = "__repro_checksum__"
 _ARRAY_PREFIX = "a::"
 
 #: Exceptions that mean "the bytes on disk are not a readable archive".
+#: Deliberately excludes ``OSError``: a transient I/O failure (EIO, EACCES,
+#: too many open files) says nothing about the bytes, and classifying it as
+#: corruption would quarantine a perfectly intact snapshot — see
+#: :func:`_reraise_corrupt`.
 _CORRUPTION_ERRORS = (
     zipfile.BadZipFile,
     zipfile.LargeZipFile,
     ValueError,
     KeyError,
     EOFError,
-    OSError,
+    zlib.error,
+    struct.error,
 )
+
+
+def _reraise_corrupt(source: str, error: Exception) -> NoReturn:
+    """Re-raise ``error`` as :class:`SnapshotCorruptError` — or verbatim.
+
+    An ``OSError`` carrying an ``errno`` is the operating system reporting an
+    I/O / permission / resource failure, not evidence that the archive bytes
+    are damaged; it propagates unchanged so callers do not quarantine an
+    intact file.  Errno-less ``OSError`` (raised by parsers for unreadable
+    data) and every :data:`_CORRUPTION_ERRORS` member become the typed
+    corruption error.
+    """
+    if isinstance(error, OSError) and error.errno is not None:
+        raise error
+    raise SnapshotCorruptError(
+        source, f"unreadable archive ({error})", version=_version_of(source)
+    ) from error
 
 
 def _json_default(value: Any) -> Any:
@@ -192,10 +215,8 @@ def read_snapshot_header(path: str | os.PathLike[str] | IO[bytes]) -> dict[str, 
             return _parse_header(data, source)
     except FileNotFoundError:
         raise
-    except _CORRUPTION_ERRORS as error:
-        raise SnapshotCorruptError(
-            source, f"unreadable archive ({error})", version=_version_of(source)
-        ) from error
+    except _CORRUPTION_ERRORS + (OSError,) as error:
+        _reraise_corrupt(source, error)
 
 
 def _read_snapshot(
@@ -223,10 +244,8 @@ def _read_snapshot(
             )
     except FileNotFoundError:
         raise
-    except _CORRUPTION_ERRORS as error:
-        raise SnapshotCorruptError(
-            source, f"unreadable archive ({error})", version=_version_of(source)
-        ) from error
+    except _CORRUPTION_ERRORS + (OSError,) as error:
+        _reraise_corrupt(source, error)
     if stored is not None:
         actual = _compute_checksum(header_bytes, arrays)
         if actual != stored:

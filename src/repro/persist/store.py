@@ -163,7 +163,11 @@ class ModelStore:
         Falls back to the newest on-disk snapshot when the pointer is
         missing, empty, garbage, or names a version that no longer exists —
         the snapshot files, not the pointer, are ground truth — and then
-        *repairs* the pointer so the next reader skips the scan.
+        *repairs* the pointer so the next reader skips the scan.  The repair
+        re-validates the pointer under the pointer flock (a concurrent
+        publisher may have flipped it to a newer valid version meanwhile,
+        which always wins) and is skipped on a read-only store, where the
+        scan result is served without rewriting anything.
         """
         model_dir = self._model_dir(name)
         pointer = model_dir / _LATEST
@@ -183,7 +187,20 @@ class ModelStore:
                 versions[-1],
             )
         with self._lock:
-            self._write_pointer(model_dir, versions[-1], force=True)
+            try:
+                self._write_pointer(model_dir, versions[-1], repair=True)
+            except OSError:
+                # Read-only store: keep resolving via the scan.
+                return versions[-1]
+        # Re-read after the repair: a concurrent publisher may have flipped
+        # the pointer to a newer version, which _write_pointer (correctly)
+        # refused to overwrite.
+        try:
+            version = int(pointer.read_text().strip())
+            if self._version_path(name, version).is_file():
+                return version
+        except (OSError, ValueError):
+            pass
         return versions[-1]
 
     # -- publish / load --------------------------------------------------------
@@ -279,7 +296,7 @@ class ModelStore:
         return ModelVersion(name, version, final_path)
 
     @staticmethod
-    def _write_pointer(model_dir: Path, version: int, force: bool = False) -> None:
+    def _write_pointer(model_dir: Path, version: int, repair: bool = False) -> None:
         pointer = model_dir / _LATEST
         # The read-guard + replace below is not atomic, so the whole flip is
         # serialised through an advisory file lock — it covers independent
@@ -288,17 +305,21 @@ class ModelStore:
         with open(model_dir / f".{_LATEST}.lock", "w") as lock_file:
             if _flock is not None:
                 _flock(lock_file, _LOCK_EX)
-            if not force:
-                try:
-                    # Never move the pointer backwards (a slower concurrent
-                    # publisher finishing late must not shadow a newer
-                    # version).  ``force`` overrides this for repair/rollback,
-                    # where the pointer is known to name garbage or a
-                    # quarantined version.
-                    if int(pointer.read_text().strip()) >= version:
-                        return
-                except (OSError, ValueError):
-                    pass
+            try:
+                current = int(pointer.read_text().strip())
+            except (OSError, ValueError):
+                current = None
+            if current is not None and current >= version:
+                # Never move the pointer backwards (a slower concurrent
+                # publisher finishing late must not shadow a newer version).
+                # ``repair`` (pointer repair / corruption rollback) may
+                # regress only when the pointed-to snapshot is actually gone
+                # (quarantined or deleted): the check runs under the flock,
+                # so a concurrent publisher that flipped the pointer to a
+                # newer intact version since the caller scanned always wins.
+                pointed = model_dir / f"v{current:08d}.npz"
+                if not repair or pointed.is_file():
+                    return
             temp_pointer = model_dir / f".{_LATEST}.{os.getpid()}.{threading.get_ident()}.tmp"
             temp_pointer.write_bytes(
                 mutate_bytes("persist.pointer.write", f"{version}\n".encode())
@@ -362,9 +383,14 @@ class ModelStore:
                     "model %r rolled back to intact version %d", name, resolved.version
                 )
                 with self._lock:
-                    self._write_pointer(
-                        self._model_dir(name), resolved.version, force=True
-                    )
+                    try:
+                        self._write_pointer(
+                            self._model_dir(name), resolved.version, repair=True
+                        )
+                    except OSError:
+                        # Read-only store: quarantine already degraded to
+                        # best-effort; keep serving the intact version found.
+                        pass
             return resolved, estimator
 
     def _quarantine(self, resolved: ModelVersion) -> Path:

@@ -157,6 +157,13 @@ class ShardedEstimator(StreamingEstimator):
         self._frame: dict[str, np.ndarray] | None = None
         self._merged: SelectivityEstimator | None = None
         self._lost: set[int] = set()
+        #: Consecutive estimate failures a shard is allowed before it is
+        #: declared lost (mirrors the serving circuit breaker's
+        #: consecutive-failure threshold): a one-off transient fault only
+        #: excludes the shard from that batch's reduction, and any success
+        #: clears its strikes.
+        self.estimate_failure_threshold = 3
+        self._estimate_strikes: dict[int, int] = {}
 
     # -- lifecycle -------------------------------------------------------------
     def fit(
@@ -183,6 +190,7 @@ class ShardedEstimator(StreamingEstimator):
         )
         self._merged = None
         self._lost = set()
+        self._estimate_strikes = {}
         self._mark_fitted(columns, table.row_count)
         return self
 
@@ -362,9 +370,10 @@ class ShardedEstimator(StreamingEstimator):
         live = [i for i in range(len(self._shards)) if i not in self._lost]
 
         def one(shard_id: int) -> "np.ndarray | Exception":
-            # A shard whose synopsis faults mid-estimate is captured, marked
-            # lost below, and excluded from the reduction — one bad shard
-            # degrades the answer instead of failing the whole batch.  (The
+            # A shard whose synopsis faults mid-estimate is captured and
+            # excluded from the reduction — one bad shard degrades the answer
+            # instead of failing the whole batch; ``estimate_failure_threshold``
+            # consecutive faults mark it lost below.  (The
             # executor's "shard.task" point sits *outside* this boundary and
             # models retryable transport faults instead.)
             try:
@@ -384,8 +393,24 @@ class ShardedEstimator(StreamingEstimator):
             if isinstance(result, Exception):
                 last_error = result
                 default_metrics().counter("shard.estimate_failures").inc()
-                self.mark_shard_lost(shard_id, reason="estimate_failure")
+                strikes = self._estimate_strikes.get(shard_id, 0) + 1
+                self._estimate_strikes[shard_id] = strikes
+                if strikes >= self.estimate_failure_threshold:
+                    self.mark_shard_lost(shard_id, reason="estimate_failure")
+                else:
+                    # Probation: a transient fault excludes the shard from
+                    # this batch only; it is retried on the next call and a
+                    # success clears its strikes.
+                    logger.warning(
+                        "shard %d estimate failed (%s); strike %d/%d, "
+                        "excluded from this batch",
+                        shard_id,
+                        result,
+                        strikes,
+                        self.estimate_failure_threshold,
+                    )
             else:
+                self._estimate_strikes.pop(shard_id, None)
                 survivors.append(shard_id)
                 results.append(result)
         if not results:
@@ -431,6 +456,7 @@ class ShardedEstimator(StreamingEstimator):
         fresh = _fit_one(self._clone_template(), sub_table, self._columns, self._frame)
         self._shards[shard_id] = fresh
         self._lost.discard(shard_id)  # a rebuilt synopsis heals a lost shard
+        self._estimate_strikes.pop(shard_id, None)
         self._row_count = int(sum(shard.row_count for shard in self._shards))
         self._merged = None
         return fresh
@@ -471,6 +497,9 @@ class ShardedEstimator(StreamingEstimator):
         # Private lost-set: swapping a fresh synopsis into a lost slot heals
         # it on the clone (the original keeps serving degraded).
         clone._lost = set(self._lost) - {shard_id}
+        clone._estimate_strikes = {
+            sid: n for sid, n in self._estimate_strikes.items() if sid != shard_id
+        }
         clone._row_count = int(sum(shard.row_count for shard in clone._shards))
         return clone
 
@@ -513,6 +542,7 @@ class ShardedEstimator(StreamingEstimator):
         assert columns is not None
         self._shards = shards
         self._lost = set()
+        self._estimate_strikes = {}
         self._partitioner = partitioner
         self._frame = dict(frame) if frame is not None else None
         self._merged = None
@@ -598,6 +628,7 @@ class ShardedEstimator(StreamingEstimator):
                 for key in meta["frame_keys"]
             }
         self._lost = {int(i) for i in meta.get("lost", [])}
+        self._estimate_strikes = {}
         self._merged = None
 
     def describe(self) -> dict[str, Any]:

@@ -139,6 +139,26 @@ class TestActions:
         with pytest.raises(InvalidParameterError):
             FaultPlan().arm("p", action="explode")
 
+    def test_unknown_option_rejected_as_typed_error(self) -> None:
+        plan = FaultPlan()
+        with pytest.raises(InvalidParameterError, match="unknown fault rule option"):
+            plan.arm("p", action="raise", atfer=2)  # typo'd keyword
+        assert not plan.rules  # nothing was armed
+
+    def test_scalar_at_is_coerced(self) -> None:
+        plan = FaultPlan()
+        rule = plan.arm("p", action="raise", at=2)
+        assert rule.at == (2,)
+        plan.inject("p")
+        with pytest.raises(InjectedFault):
+            plan.inject("p")
+
+    def test_malformed_at_rejected_as_typed_error(self) -> None:
+        with pytest.raises(InvalidParameterError, match="at must be"):
+            FaultPlan().arm("p", action="raise", at=object())
+        with pytest.raises(InvalidParameterError):
+            FaultPlan().arm("p", action="raise", at=("x", "y"))
+
 
 class TestDefaultPlan:
     # These run with whatever plan the session armed (the CI fault-injection

@@ -186,6 +186,31 @@ class TestPointerRegression:
         assert store.latest_version("m") == 2
         assert pointer.read_text().strip() == "2"
 
+    def test_repair_never_regresses_a_valid_pointer(self, store) -> None:
+        """A repair computed from a stale scan must lose to a concurrent
+        publisher's newer pointer: the regress is only allowed when the
+        pointed-to snapshot file is actually gone."""
+        model_dir = store.root / "m"
+        ModelStore._write_pointer(model_dir, 1, repair=True)
+        assert (model_dir / "LATEST").read_text().strip() == "2"
+        # Once v2 is gone (quarantined/deleted), the repair may regress.
+        (model_dir / "v00000002.npz").unlink()
+        ModelStore._write_pointer(model_dir, 1, repair=True)
+        assert (model_dir / "LATEST").read_text().strip() == "1"
+
+    def test_read_only_store_resolves_via_scan(self, store, monkeypatch) -> None:
+        """A stale pointer on a store we cannot write to must still resolve
+        through the version scan instead of raising from the repair."""
+        pointer = store.root / "m" / "LATEST"
+        pointer.write_text("99\n")
+
+        def deny(*args, **kwargs):
+            raise PermissionError(13, "read-only store")
+
+        monkeypatch.setattr(ModelStore, "_write_pointer", staticmethod(deny))
+        assert store.latest_version("m") == 2
+        assert pointer.read_text().strip() == "99"  # nothing was rewritten
+
 
 class TestJournalCrashConsistency:
     def _batches(self, count: int = 8, rows: int = 32) -> list[np.ndarray]:
@@ -259,6 +284,53 @@ class TestJournalCrashConsistency:
             _estimates(self._reference(batches[:-1], checkpoint_after=2)),
         )
         recovered.close()
+
+    def test_torn_tail_is_truncated_before_new_appends(self, tmp_path) -> None:
+        """Recovery cuts the garbage tail off the journal: batches inserted
+        *after* a torn-tail recovery land contiguously after the last intact
+        record, so they survive a second crash (the journal reopens in append
+        mode — without the truncation they would be written past the garbage
+        and be unreachable to replay)."""
+        batches = self._batches()
+        store = ModelStore(tmp_path / "store")
+        ingest = JournaledIngest(
+            StreamingADE(max_kernels=48).fit(TABLE),
+            IngestJournal(tmp_path / "wal"),
+            store,
+            "m",
+        )
+        plan = FaultPlan(seed=2)
+        plan.arm("persist.journal.append", action="torn", at=(len(batches),))
+        with use_fault_plan(plan):
+            for index, batch in enumerate(batches):
+                ingest.insert(batch)
+                if index == 2:
+                    ingest.checkpoint()
+        ingest.journal.close()
+
+        recovered = JournaledIngest.recover(
+            IngestJournal(tmp_path / "wal"), store, "m"
+        )
+        assert recovered.last_recovery["torn_tail"]
+        extra = self._batches(count=2, rows=16)
+        for batch in extra:
+            recovered.insert(batch)
+        recovered.close()  # second crash, before any checkpoint
+
+        again = JournaledIngest.recover(
+            IngestJournal(tmp_path / "wal"), store, "m"
+        )
+        assert not again.last_recovery["torn_tail"]
+        assert (
+            again.last_recovery["replayed_batches"]
+            == (len(batches) - 4) + len(extra)
+        )
+        again.flush()
+        np.testing.assert_array_equal(
+            _estimates(again.estimator),
+            _estimates(self._reference(batches[:-1] + extra, checkpoint_after=2)),
+        )
+        again.close()
 
     def test_stale_journal_is_not_replayed(self, tmp_path) -> None:
         """A journal whose checkpoint predates the loaded snapshot (someone

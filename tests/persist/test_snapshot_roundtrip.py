@@ -203,3 +203,26 @@ class TestSnapshotEdgeCases:
             np.savez(handle, stuff=np.zeros(3))
         with pytest.raises(PersistenceError, match="missing header"):
             load_estimator(path)
+
+    def test_transient_io_error_is_not_corruption(
+        self, small_table, tmp_path, monkeypatch
+    ) -> None:
+        """An errno-bearing OSError (EIO, EACCES, …) is the OS failing the
+        read, not evidence of bad bytes: it must propagate verbatim so the
+        store never quarantines an intact snapshot over it."""
+        import errno
+
+        from repro.core.errors import SnapshotCorruptError
+
+        estimator = create_estimator("independence").fit(small_table)
+        path = tmp_path / "intact.npz"
+        estimator.save(path)
+
+        def eio(*args, **kwargs):
+            raise OSError(errno.EIO, "Input/output error")
+
+        monkeypatch.setattr(np, "load", eio)
+        with pytest.raises(OSError) as excinfo:
+            load_estimator(path)
+        assert not isinstance(excinfo.value, SnapshotCorruptError)
+        assert excinfo.value.errno == errno.EIO

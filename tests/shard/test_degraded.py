@@ -57,7 +57,10 @@ class TestExecutorRetries:
 
 
 class TestShardLoss:
-    def test_estimate_fault_marks_shard_lost_and_degrades(self) -> None:
+    def test_transient_estimate_fault_is_probation_not_loss(self) -> None:
+        """A one-off estimate fault excludes the shard from that batch only:
+        the shard is retried on the next call, a success clears its strikes,
+        and it is never marked lost."""
         sharded = _sharded()
         plan = _plan(sharded)
         full = sharded.estimate_batch(plan)
@@ -67,10 +70,31 @@ class TestShardLoss:
         with use_fault_plan(fault):
             degraded = sharded.estimate_batch(plan)
 
-        assert sharded.degraded
-        assert sharded.lost_shards == (0,)
+        assert not sharded.degraded
+        assert sharded.lost_shards == ()
         assert degraded.shape == full.shape
         assert np.all(degraded >= 0.0) and np.all(degraded <= 1.0)
+        # The faulted shard recovered: the next call serves the full ensemble.
+        np.testing.assert_array_equal(sharded.estimate_batch(plan), full)
+        assert not sharded._estimate_strikes
+
+    def test_consecutive_estimate_faults_mark_shard_lost(self) -> None:
+        sharded = _sharded()
+        plan = _plan(sharded)
+
+        class _Faulty:
+            row_count = sharded.shard(0).row_count
+
+            def _estimate_batch(self, lows, highs):
+                raise RuntimeError("synopsis fault")
+
+        sharded._shards[0] = _Faulty()
+        for _ in range(sharded.estimate_failure_threshold):
+            assert not sharded.degraded
+            estimates = sharded.estimate_batch(plan)
+            assert np.all(estimates >= 0.0) and np.all(estimates <= 1.0)
+        assert sharded.degraded
+        assert sharded.lost_shards == (0,)
 
     def test_manual_mark_and_describe_surface(self) -> None:
         sharded = _sharded()
